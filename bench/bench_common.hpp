@@ -1,0 +1,46 @@
+// Shared setup for the per-table bench binaries: one experiment
+// configuration (the reproduction's "evaluation settings") and a disk
+// cache so that table2/3/4/fig2 all reuse a single expensive run.
+//
+// Environment knobs:
+//   TAAMR_SCALE      dataset scale factor (default data::kBenchScale)
+//   TAAMR_CACHE_DIR  cache directory      (default ./taamr_cache)
+//   TAAMR_SEED       master seed          (default 42)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace taamr::bench {
+
+inline double env_scale() {
+  if (const char* s = std::getenv("TAAMR_SCALE")) return std::atof(s);
+  return data::kBenchScale;
+}
+
+inline std::string env_cache_dir() {
+  if (const char* s = std::getenv("TAAMR_CACHE_DIR")) return s;
+  return "taamr_cache";
+}
+
+inline std::uint64_t env_seed() {
+  if (const char* s = std::getenv("TAAMR_SEED")) return std::strtoull(s, nullptr, 10);
+  return 42;
+}
+
+inline core::ExperimentConfig experiment_config(const std::string& dataset) {
+  core::ExperimentConfig cfg;
+  cfg.pipeline.dataset_name = dataset;
+  cfg.pipeline.scale = env_scale();
+  cfg.pipeline.seed = env_seed();
+  cfg.pipeline.cache_dir = env_cache_dir();
+  return cfg;
+}
+
+inline core::DatasetResults results_for(const std::string& dataset) {
+  return core::run_or_load_experiment(experiment_config(dataset), env_cache_dir());
+}
+
+}  // namespace taamr::bench

@@ -1,0 +1,171 @@
+// google-benchmark microbenchmarks of the substrates: GEMM, conv lowering,
+// CNN forward/backward, attack steps, recommender epochs and ranking.
+// These document where the wall-clock of the table benches goes.
+#include <benchmark/benchmark.h>
+
+#include "attack/attack.hpp"
+#include "data/amazon_synth.hpp"
+#include "data/dataset.hpp"
+#include "nn/classifier.hpp"
+#include "recsys/ranker.hpp"
+#include "recsys/vbpr.hpp"
+#include "tensor/conv_lowering.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace taamr;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  for (float& v : a.storage()) v = rng.uniform_f();
+  for (float& v : b.storage()) v = rng.uniform_f();
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  conv::ConvGeometry g;
+  g.in_channels = 12;
+  g.in_h = g.in_w = 32;
+  g.kernel = 3;
+  g.stride = 1;
+  g.padding = 1;
+  Rng rng(2);
+  Tensor img({12, 32, 32});
+  for (float& v : img.storage()) v = rng.uniform_f();
+  for (auto _ : state) {
+    Tensor cols = conv::im2col(img, g);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+nn::Classifier make_bench_classifier() {
+  nn::MiniResNetConfig cfg;
+  cfg.image_size = 32;
+  cfg.base_width = 12;
+  cfg.blocks_per_stage = 1;
+  cfg.num_classes = 16;
+  Rng rng(3);
+  return nn::Classifier(cfg, rng);
+}
+
+void BM_CnnForward(benchmark::State& state) {
+  nn::Classifier c = make_bench_classifier();
+  const std::int64_t batch = state.range(0);
+  Rng rng(4);
+  Tensor x({batch, 3, 32, 32});
+  for (float& v : x.storage()) v = rng.uniform_f();
+  for (auto _ : state) {
+    Tensor logits = c.logits(x);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CnnForward)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_CnnInputGradient(benchmark::State& state) {
+  nn::Classifier c = make_bench_classifier();
+  const std::int64_t batch = state.range(0);
+  Rng rng(5);
+  Tensor x({batch, 3, 32, 32});
+  for (float& v : x.storage()) v = rng.uniform_f();
+  const std::vector<std::int64_t> labels(static_cast<std::size_t>(batch), 1);
+  for (auto _ : state) {
+    Tensor g = c.loss_input_gradient(x, labels);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CnnInputGradient)->Arg(1)->Arg(16);
+
+void BM_FgsmPerImage(benchmark::State& state) {
+  nn::Classifier c = make_bench_classifier();
+  Rng rng(6);
+  Tensor x({8, 3, 32, 32});
+  for (float& v : x.storage()) v = rng.uniform_f();
+  const std::vector<std::int64_t> targets(8, 2);
+  attack::AttackConfig cfg;
+  auto fgsm = attack::make_attack(attack::AttackKind::kFgsm, cfg);
+  for (auto _ : state) {
+    Tensor adv = fgsm->perturb(c, x, targets, rng);
+    benchmark::DoNotOptimize(adv.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_FgsmPerImage);
+
+void BM_Pgd10PerImage(benchmark::State& state) {
+  nn::Classifier c = make_bench_classifier();
+  Rng rng(7);
+  Tensor x({8, 3, 32, 32});
+  for (float& v : x.storage()) v = rng.uniform_f();
+  const std::vector<std::int64_t> targets(8, 2);
+  attack::AttackConfig cfg;
+  auto pgd = attack::make_attack(attack::AttackKind::kPgd, cfg);
+  for (auto _ : state) {
+    Tensor adv = pgd->perturb(c, x, targets, rng);
+    benchmark::DoNotOptimize(adv.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Pgd10PerImage);
+
+struct RecsysFixture {
+  data::ImplicitDataset dataset;
+  Tensor features;
+  std::unique_ptr<recsys::Vbpr> model;
+
+  RecsysFixture() {
+    dataset = data::generate_synthetic_dataset(data::amazon_men_spec(0.01));
+    Rng rng(8);
+    features = Tensor({dataset.num_items, 48});
+    for (float& v : features.storage()) v = rng.gaussian_f(0.0f, 1.0f);
+    recsys::VbprConfig cfg;
+    model = std::make_unique<recsys::Vbpr>(dataset, features, cfg, rng);
+    model->set_item_features(features);
+  }
+};
+
+void BM_VbprTrainEpoch(benchmark::State& state) {
+  RecsysFixture fx;
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model->train_epoch(fx.dataset, rng));
+  }
+  fx.model->set_item_features(fx.features);
+  state.SetItemsProcessed(state.iterations() * fx.dataset.num_train_feedback());
+}
+BENCHMARK(BM_VbprTrainEpoch);
+
+void BM_TopNRanking(benchmark::State& state) {
+  RecsysFixture fx;
+  for (auto _ : state) {
+    auto lists = recsys::top_n_lists(*fx.model, fx.dataset, 100);
+    benchmark::DoNotOptimize(lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.dataset.num_users);
+}
+BENCHMARK(BM_TopNRanking);
+
+void BM_RenderItemImage(benchmark::State& state) {
+  const auto& style = data::fashion_taxonomy()[0].style;
+  data::ImageGenConfig cfg;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Tensor img = data::render_item_image(style, seed++, cfg);
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_RenderItemImage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

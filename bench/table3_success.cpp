@@ -1,0 +1,16 @@
+// Regenerates Table III: targeted attack success probability per
+// (scenario, attack, eps) on both datasets.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace taamr;
+  for (const std::string dataset : {"Amazon Men", "Amazon Women"}) {
+    const auto results = bench::results_for(dataset);
+    core::table3_success(results).print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

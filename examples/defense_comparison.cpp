@@ -1,0 +1,65 @@
+// VBPR vs AMR under the same targeted attack: does adversarial training
+// (the AMR regularizer, Eq. 8-10) dampen the CHR shift? This is the
+// VBPR-vs-AMR comparison of the paper's Table II on one scenario.
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "data/categories.hpp"
+#include "metrics/chr.hpp"
+#include "recsys/ranker.hpp"
+#include "recsys/trainer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace taamr;
+
+  // Uses the pipeline's calibrated defaults (32x32 MiniResNet, semantic
+  // D = 16 features); only the dataset scale is reduced for a fast demo.
+  core::PipelineConfig config;
+  config.dataset_name = "Amazon Women";
+  config.scale = 0.012;
+  config.vbpr.epochs = 100;
+  config.amr_warm_epochs = 50;
+  config.amr_adversarial_epochs = 50;
+  config.seed = 42;
+  const std::int64_t top_n = 100;
+
+  core::Pipeline pipeline(config);
+  pipeline.prepare();
+  const auto& dataset = pipeline.dataset();
+
+  auto vbpr = pipeline.train_vbpr();
+  auto amr = pipeline.train_amr();
+  Rng ev(11);
+  std::cout << "VBPR AUC = " << recsys::sampled_auc(*vbpr, dataset, ev)
+            << ", AMR AUC = " << recsys::sampled_auc(*amr, dataset, ev) << "\n\n";
+
+  // Attack: Maillot -> Brassiere (the paper's similar pair on Amazon Women).
+  const auto batch = pipeline.attack_category(data::kMaillot, data::kBrassiere,
+                                              attack::AttackKind::kPgd, 16.0f);
+  const Tensor attacked =
+      pipeline.features_with_attack(batch.items, batch.attacked_images);
+
+  Table t("CHR@100 of Maillot before/after PGD eps=16 (Maillot -> Brassiere)");
+  t.header({"Model", "CHR before (%)", "CHR after (%)", "lift"});
+  struct Row {
+    const char* name;
+    recsys::Vbpr* model;
+  };
+  for (const Row& row : {Row{"VBPR", vbpr.get()}, Row{"AMR", amr.get()}}) {
+    const auto before = recsys::top_n_lists(*row.model, dataset, top_n);
+    const double chr_before =
+        metrics::category_hit_ratio(before, dataset, data::kMaillot, top_n);
+    row.model->set_item_features(attacked);
+    const auto after = recsys::top_n_lists(*row.model, dataset, top_n);
+    const double chr_after =
+        metrics::category_hit_ratio(after, dataset, data::kMaillot, top_n);
+    row.model->set_item_features(pipeline.clean_features());
+    t.row({row.name, Table::fmt(chr_before * 100, 3), Table::fmt(chr_after * 100, 3),
+           Table::fmt(chr_before > 0 ? chr_after / chr_before : 0.0, 2) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape (paper, Table II): AMR's lift is smaller than "
+               "VBPR's — adversarial training dampens, but does not stop, TAaMR.\n";
+  return 0;
+}

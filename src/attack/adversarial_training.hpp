@@ -1,0 +1,31 @@
+// Adversarial training of the *feature extractor* (Madry-style PGD-AT):
+// the paper's future-work defense direction ("adversarial training ... to
+// make the feature extraction more robust"). Trains the classifier on
+// worst-case perturbed images so that the TAaMR attack surface shrinks at
+// the source — complementary to AMR, which hardens the recommender.
+#pragma once
+
+#include "attack/attack.hpp"
+#include "nn/classifier.hpp"
+#include "nn/optimizer.hpp"
+
+namespace taamr::attack {
+
+struct RobustTrainingConfig {
+  std::int64_t epochs = 8;
+  std::int64_t batch_size = 32;
+  nn::SgdConfig sgd;
+  // Threat model trained against. iterations == 1 makes this FGSM-AT.
+  AttackConfig threat;
+  // Fraction of each batch replaced by adversarial examples (1.0 = Madry).
+  float adversarial_fraction = 1.0f;
+};
+
+// Trains `classifier` in place on (images, labels) with on-the-fly
+// untargeted adversarial examples. Returns the final epoch's clean
+// training accuracy.
+double fit_robust(nn::Classifier& classifier, const Tensor& images,
+                  const std::vector<std::int64_t>& labels,
+                  const RobustTrainingConfig& config, Rng& rng);
+
+}  // namespace taamr::attack

@@ -1,0 +1,54 @@
+#include "attack/attack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "attack/fgsm.hpp"
+#include "attack/pgd.hpp"
+
+namespace taamr::attack {
+
+void AttackConfig::validate() const {
+  if (epsilon <= 0.0f) throw std::invalid_argument("AttackConfig: epsilon must be > 0");
+  if (clip_min >= clip_max) throw std::invalid_argument("AttackConfig: clip_min >= clip_max");
+  if (iterations <= 0) throw std::invalid_argument("AttackConfig: iterations must be > 0");
+}
+
+Attack::Attack(AttackConfig config) : config_(config) { config_.validate(); }
+
+Attack::~Attack() = default;
+
+void Attack::project(Tensor& candidate, const Tensor& original) const {
+  check_same_shape(candidate, original, "Attack::project");
+  const float eps = config_.epsilon;
+  const std::int64_t n = candidate.numel();
+  float* c = candidate.data();
+  const float* o = original.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float lo = std::max(o[i] - eps, config_.clip_min);
+    const float hi = std::min(o[i] + eps, config_.clip_max);
+    c[i] = std::clamp(c[i], lo, hi);
+  }
+}
+
+std::unique_ptr<Attack> make_attack(AttackKind kind, AttackConfig config) {
+  switch (kind) {
+    case AttackKind::kFgsm:
+      return std::make_unique<Fgsm>(config);
+    case AttackKind::kPgd:
+      return std::make_unique<Pgd>(config);
+  }
+  throw std::invalid_argument("make_attack: unknown attack kind");
+}
+
+std::string attack_kind_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kFgsm:
+      return "FGSM";
+    case AttackKind::kPgd:
+      return "PGD";
+  }
+  return "?";
+}
+
+}  // namespace taamr::attack

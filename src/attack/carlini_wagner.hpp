@@ -1,0 +1,49 @@
+// Carlini & Wagner attack (S&P 2017), the targeted-attack reference the
+// paper cites as [8]. L2 variant: minimize
+//     || x* - x ||_2^2 + c * f(x*)
+// with the logit-margin loss f(x*) = max(max_{j!=t} Z_j - Z_t, -kappa),
+// the change of variables x* = (tanh(w) + 1) / 2 guaranteeing box
+// constraints, and an outer binary search on the trade-off constant c.
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace taamr::attack {
+
+struct CwConfig {
+  std::int64_t iterations = 100;        // inner gradient-descent steps
+  std::int64_t binary_search_steps = 4; // outer search on c
+  float initial_c = 1.0f;
+  float learning_rate = 0.05f;          // step size in w-space
+  float confidence = 0.0f;              // kappa: demanded logit margin
+  float clip_min = 0.0f;
+  float clip_max = 1.0f;
+
+  void validate() const;
+};
+
+class CarliniWagner {
+ public:
+  explicit CarliniWagner(CwConfig config);
+
+  // Targeted attack: returns the adversarial examples with the smallest
+  // found L2 distortion that are classified as labels[i]; images for which
+  // no c in the search succeeds are returned unchanged.
+  Tensor perturb(nn::Classifier& classifier, const Tensor& images,
+                 const std::vector<std::int64_t>& labels);
+
+  std::string name() const { return "C&W-L2"; }
+  const CwConfig& config() const { return config_; }
+
+  // Mean L2 distortion of the successful examples in the last perturb()
+  // call (0 when none succeeded), and the success count.
+  double last_mean_l2() const { return last_mean_l2_; }
+  std::int64_t last_successes() const { return last_successes_; }
+
+ private:
+  CwConfig config_;
+  double last_mean_l2_ = 0.0;
+  std::int64_t last_successes_ = 0;
+};
+
+}  // namespace taamr::attack

@@ -1,0 +1,29 @@
+// Defensive distillation (Papernot et al., S&P 2016): the second defense
+// the paper's future-work section names. A teacher is trained with a
+// high-temperature softmax; a student of the same architecture is trained
+// on the teacher's tempered probabilities and then deployed at T = 1,
+// which flattens the input-gradient field attackers descend.
+#pragma once
+
+#include "nn/classifier.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace taamr::attack {
+
+struct DistillationConfig {
+  float temperature = 20.0f;
+  std::int64_t teacher_epochs = 8;
+  std::int64_t student_epochs = 8;
+  std::int64_t batch_size = 32;
+  nn::SgdConfig sgd;
+
+  void validate() const;
+};
+
+// Trains teacher + student from scratch; returns the distilled student.
+nn::Classifier distill(const nn::MiniResNetConfig& architecture, const Tensor& images,
+                       const std::vector<std::int64_t>& labels,
+                       const DistillationConfig& config, Rng& rng);
+
+}  // namespace taamr::attack

@@ -1,0 +1,52 @@
+#include "attack/feature_match.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace taamr::attack {
+
+FeatureMatch::FeatureMatch(AttackConfig config) : config_(config) {
+  config_.validate();
+}
+
+void FeatureMatch::project(Tensor& candidate, const Tensor& original) const {
+  check_same_shape(candidate, original, "FeatureMatch::project");
+  const float eps = config_.epsilon;
+  const std::int64_t n = candidate.numel();
+  float* c = candidate.data();
+  const float* o = original.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float lo = std::max(o[i] - eps, config_.clip_min);
+    const float hi = std::min(o[i] + eps, config_.clip_max);
+    c[i] = std::clamp(c[i], lo, hi);
+  }
+}
+
+Tensor FeatureMatch::perturb(nn::Classifier& classifier, const Tensor& images,
+                             const Tensor& target_features, Rng& rng) {
+  if (images.ndim() != 4) {
+    throw std::invalid_argument("FeatureMatch: expected [N, C, H, W] images");
+  }
+  if (target_features.ndim() != 2 || target_features.dim(0) != images.dim(0) ||
+      target_features.dim(1) != classifier.feature_dim()) {
+    throw std::invalid_argument("FeatureMatch: target features must be [N, D]");
+  }
+  Tensor adversarial = images;
+  if (config_.random_start) {
+    for (float& v : adversarial.storage()) {
+      v += rng.uniform_f(-config_.epsilon, config_.epsilon);
+    }
+    project(adversarial, images);
+  }
+  const float step = config_.effective_step();  // always descend the distance
+  for (std::int64_t it = 0; it < config_.iterations; ++it) {
+    const Tensor grad =
+        classifier.feature_input_gradient(adversarial, target_features);
+    ops::axpy_inplace(adversarial, -step, ops::sign(grad));
+    project(adversarial, images);
+  }
+  return adversarial;
+}
+
+}  // namespace taamr::attack

@@ -1,0 +1,32 @@
+// Feature-matching attack: the paper's future-work item #1 ("a finer-
+// grained visual attack to address a single item even within the same
+// category"). Instead of a class label, the adversary targets the *feature
+// vector* of a chosen reference item: iterated projected descent on
+// ||f_e(x) - f_target||^2. The perturbed product then ranks like the
+// reference item, not merely like its category.
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace taamr::attack {
+
+class FeatureMatch {
+ public:
+  explicit FeatureMatch(AttackConfig config);
+
+  // images: [N, C, H, W]; target_features: [N, D] (layer-e vectors to
+  // imitate, one per image). Returns adversarial images inside the l_inf
+  // ball of config.epsilon.
+  Tensor perturb(nn::Classifier& classifier, const Tensor& images,
+                 const Tensor& target_features, Rng& rng);
+
+  std::string name() const { return "FeatureMatch"; }
+  const AttackConfig& config() const { return config_; }
+
+ private:
+  void project(Tensor& candidate, const Tensor& original) const;
+
+  AttackConfig config_;
+};
+
+}  // namespace taamr::attack

@@ -1,0 +1,19 @@
+// Fast Gradient Sign Method (Goodfellow et al., ICLR 2015), Eq. 5 of the
+// paper in its targeted form: x* = x - eps * sign(grad_x L(theta, x, t)).
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace taamr::attack {
+
+class Fgsm : public Attack {
+ public:
+  explicit Fgsm(AttackConfig config) : Attack(config) {}
+
+  Tensor perturb(nn::Classifier& classifier, const Tensor& images,
+                 const std::vector<std::int64_t>& labels, Rng& rng) override;
+
+  std::string name() const override { return "FGSM"; }
+};
+
+}  // namespace taamr::attack

@@ -1,0 +1,38 @@
+#include "attack/mim.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace taamr::attack {
+
+Tensor Mim::perturb(nn::Classifier& classifier, const Tensor& images,
+                    const std::vector<std::int64_t>& labels, Rng& /*rng*/) {
+  const std::int64_t n = images.dim(0);
+  const std::int64_t per_image = images.numel() / n;
+  Tensor adversarial = images;
+  Tensor momentum(images.shape(), 0.0f);
+  const float step =
+      config_.targeted ? -config_.effective_step() : config_.effective_step();
+
+  for (std::int64_t it = 0; it < config_.iterations; ++it) {
+    Tensor grad = classifier.loss_input_gradient(adversarial, labels);
+    // Per-image L1 normalization of the gradient before momentum
+    // accumulation (the MIM paper's update rule).
+    for (std::int64_t s = 0; s < n; ++s) {
+      float* g = grad.data() + s * per_image;
+      double l1 = 0.0;
+      for (std::int64_t i = 0; i < per_image; ++i) l1 += std::fabs(g[i]);
+      const float inv = l1 > 1e-12 ? static_cast<float>(1.0 / l1) : 0.0f;
+      float* m = momentum.data() + s * per_image;
+      for (std::int64_t i = 0; i < per_image; ++i) {
+        m[i] = decay_ * m[i] + g[i] * inv;
+      }
+    }
+    ops::axpy_inplace(adversarial, step, ops::sign(momentum));
+    project(adversarial, images);
+  }
+  return adversarial;
+}
+
+}  // namespace taamr::attack

@@ -1,0 +1,26 @@
+// Momentum Iterative Method (Dong et al., CVPR 2018): iterative FGSM with a
+// decaying accumulated-gradient direction. One of the "novel adversarial
+// attacks" the paper's future-work section proposes integrating into TAaMR.
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace taamr::attack {
+
+class Mim : public Attack {
+ public:
+  // decay_factor is mu in the MIM paper (1.0 is the recommended setting).
+  explicit Mim(AttackConfig config, float decay_factor = 1.0f)
+      : Attack(config), decay_(decay_factor) {}
+
+  Tensor perturb(nn::Classifier& classifier, const Tensor& images,
+                 const std::vector<std::int64_t>& labels, Rng& rng) override;
+
+  std::string name() const override { return "MIM"; }
+  float decay_factor() const { return decay_; }
+
+ private:
+  float decay_;
+};
+
+}  // namespace taamr::attack

@@ -1,0 +1,21 @@
+// Projected Gradient Descent (Madry et al., ICLR 2018): iterated FGSM steps
+// from a uniform random start, each followed by projection onto the
+// eps-ball around the clean image and the valid pixel range. The paper runs
+// 10 iterations; its PGD differs from BIM exactly by the random start.
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace taamr::attack {
+
+class Pgd : public Attack {
+ public:
+  explicit Pgd(AttackConfig config) : Attack(config) {}
+
+  Tensor perturb(nn::Classifier& classifier, const Tensor& images,
+                 const std::vector<std::int64_t>& labels, Rng& rng) override;
+
+  std::string name() const override { return "PGD"; }
+};
+
+}  // namespace taamr::attack

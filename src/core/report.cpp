@@ -1,0 +1,213 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "data/amazon_synth.hpp"
+#include "data/categories.hpp"
+
+namespace taamr::core {
+
+namespace {
+std::string scenario_header(const CellResult& cell) {
+  return data::category_name(cell.source_category) + "(" +
+         Table::fmt(cell.chr_before_source * 100.0, 3) + ") -> " +
+         data::category_name(cell.target_category) + "(" +
+         Table::fmt(cell.chr_before_target * 100.0, 3) + ")";
+}
+
+std::vector<float> sorted_eps(const DatasetResults& r) {
+  std::set<float> eps;
+  for (const CellResult& c : r.cells) eps.insert(c.eps_255);
+  return {eps.begin(), eps.end()};
+}
+}  // namespace
+
+Table table1_dataset_stats(const std::vector<DatasetResults>& results) {
+  Table t("Table I: dataset statistics (synthetic reproduction vs paper)");
+  t.header({"Dataset", "|U|", "|I|", "|S|", "scale", "paper |U|", "paper |I|",
+            "paper |S|"});
+  const auto paper = data::paper_table1_stats();
+  for (const DatasetResults& r : results) {
+    const data::PaperStats* ref = nullptr;
+    for (const auto& p : paper) {
+      if (p.name == r.dataset) ref = &p;
+    }
+    t.row({r.dataset, Table::count(r.stats.num_users), Table::count(r.stats.num_items),
+           Table::count(r.stats.num_feedback), Table::fmt(r.scale, 4),
+           ref ? Table::count(ref->users) : "-", ref ? Table::count(ref->items) : "-",
+           ref ? Table::count(ref->feedback) : "-"});
+  }
+  return t;
+}
+
+Table table2_chr(const DatasetResults& r) {
+  const std::vector<float> eps_grid = sorted_eps(r);
+  Table t("Table II: TAaMR results, CHR@" + std::to_string(r.top_n) +
+          " of the attacked (source) category, values in % -- " + r.dataset);
+  std::vector<std::string> header = {"MR", "Attack", "Scenario"};
+  for (float e : eps_grid) header.push_back("eps=" + Table::fmt(e, 0));
+  t.header(header);
+
+  // Preserve the paper's row nesting: model -> scenario -> attack.
+  for (const char* model : {"VBPR", "AMR"}) {
+    bool first_of_model = true;
+    // Collect this model's scenarios in encounter order.
+    std::vector<std::pair<std::int32_t, std::int32_t>> scenarios;
+    for (const CellResult& c : r.cells) {
+      if (c.model != model) continue;
+      const auto key = std::make_pair(c.source_category, c.target_category);
+      if (std::find(scenarios.begin(), scenarios.end(), key) == scenarios.end()) {
+        scenarios.push_back(key);
+      }
+    }
+    for (const auto& [source, target] : scenarios) {
+      for (const char* attack : {"FGSM", "PGD"}) {
+        std::vector<std::string> row = {first_of_model ? model : "", attack, ""};
+        bool any = false;
+        for (float e : eps_grid) {
+          const CellResult* found = nullptr;
+          for (const CellResult& c : r.cells) {
+            if (c.model == model && c.attack == attack && c.source_category == source &&
+                c.target_category == target && c.eps_255 == e) {
+              found = &c;
+              break;
+            }
+          }
+          if (found != nullptr) {
+            if (row[2].empty()) row[2] = scenario_header(*found);
+            row.push_back(Table::fmt(found->chr_after_source * 100.0, 3));
+            any = true;
+          } else {
+            row.push_back("-");
+          }
+        }
+        if (any) {
+          t.row(row);
+          first_of_model = false;
+        }
+      }
+      t.separator();
+    }
+  }
+  return t;
+}
+
+Table table3_success(const DatasetResults& r) {
+  const std::vector<float> eps_grid = sorted_eps(r);
+  Table t("Table III: targeted attack success probability -- " + r.dataset);
+  std::vector<std::string> header = {"Origin -> Target", "Attack"};
+  for (float e : eps_grid) header.push_back("eps=" + Table::fmt(e, 0));
+  t.header(header);
+
+  // Success rates are model-independent; deduplicate by (scenario, attack).
+  std::vector<std::pair<std::int32_t, std::int32_t>> scenarios;
+  for (const CellResult& c : r.cells) {
+    const auto key = std::make_pair(c.source_category, c.target_category);
+    if (std::find(scenarios.begin(), scenarios.end(), key) == scenarios.end()) {
+      scenarios.push_back(key);
+    }
+  }
+  for (const auto& [source, target] : scenarios) {
+    for (const char* attack : {"FGSM", "PGD"}) {
+      std::vector<std::string> row = {
+          data::category_name(source) + " -> " + data::category_name(target), attack};
+      bool any = false;
+      for (float e : eps_grid) {
+        const CellResult* found = nullptr;
+        for (const CellResult& c : r.cells) {
+          if (c.attack == attack && c.source_category == source &&
+              c.target_category == target && c.eps_255 == e) {
+            found = &c;  // the first matching model carries the shared value
+            break;
+          }
+        }
+        if (found != nullptr) {
+          row.push_back(Table::pct(found->success_rate, 2));
+          any = true;
+        } else {
+          row.push_back("-");
+        }
+      }
+      if (any) t.row(row);
+    }
+    t.separator();
+  }
+  return t;
+}
+
+Table table4_visual(const DatasetResults& r) {
+  const std::vector<float> eps_grid = sorted_eps(r);
+  Table t("Table IV: average visual-quality metrics over attacked images -- " +
+          r.dataset);
+  std::vector<std::string> header = {"Metric", "Attack"};
+  for (float e : eps_grid) header.push_back("eps=" + Table::fmt(e, 0));
+  t.header(header);
+
+  struct Acc {
+    double sum = 0.0;
+    std::int64_t n = 0;
+  };
+  // metric x attack x eps, averaged over distinct attacked-image sets.
+  std::map<std::tuple<int, std::string, float>, Acc> acc;
+  std::set<std::tuple<std::string, float, std::int32_t, std::int32_t>> seen;
+  for (const CellResult& c : r.cells) {
+    const auto dedup_key =
+        std::make_tuple(c.attack, c.eps_255, c.source_category, c.target_category);
+    if (!seen.insert(dedup_key).second) continue;
+    const double values[3] = {c.psnr, c.ssim, c.psm};
+    for (int m = 0; m < 3; ++m) {
+      Acc& a = acc[{m, c.attack, c.eps_255}];
+      a.sum += values[m];
+      ++a.n;
+    }
+  }
+  const char* metric_names[3] = {"PSNR (dB)", "SSIM", "PSM"};
+  const int precisions[3] = {3, 4, 4};
+  for (int m = 0; m < 3; ++m) {
+    for (const char* attack : {"FGSM", "PGD"}) {
+      std::vector<std::string> row = {std::string(attack) == "FGSM" ? metric_names[m] : "", attack};
+      for (float e : eps_grid) {
+        const Acc& a = acc[{m, attack, e}];
+        row.push_back(a.n ? Table::fmt(a.sum / static_cast<double>(a.n), precisions[m])
+                          : "-");
+      }
+      t.row(row);
+    }
+    t.separator();
+  }
+  return t;
+}
+
+std::string fig2_text(const DatasetResults& r) {
+  const Fig2Example& f = r.fig2;
+  std::ostringstream os;
+  os << "Fig. 2: example product before/after PGD (eps = 8) against VBPR on "
+     << r.dataset << "\n"
+     << "  item #" << f.item << " (" << data::category_name(f.source_category) << ")\n"
+     << "  (a) original:  P[" << data::category_name(f.source_category)
+     << "] = " << Table::pct(f.source_prob_before, 1)
+     << ", median rec. position = " << Table::fmt(f.median_rank_before, 0) << "\n"
+     << "  (b) attacked:  P[" << data::category_name(f.target_category)
+     << "] = " << Table::pct(f.target_prob_after, 1)
+     << ", median rec. position = " << Table::fmt(f.median_rank_after, 0) << "\n"
+     << "  perturbation visibility: PSNR = " << Table::fmt(f.psnr, 2)
+     << " dB, SSIM = " << Table::fmt(f.ssim, 4) << "\n";
+  return os.str();
+}
+
+Table baseline_chr_table(const DatasetResults& r) {
+  Table t("Baseline CHR@" + std::to_string(r.top_n) + " per category (%, clean images) -- " +
+          r.dataset);
+  t.header({"Category", "VBPR", "AMR"});
+  for (std::int32_t c = 0; c < data::num_categories(); ++c) {
+    t.row({data::category_name(c),
+           Table::fmt(r.vbpr_baseline_chr[static_cast<std::size_t>(c)] * 100.0, 3),
+           Table::fmt(r.amr_baseline_chr[static_cast<std::size_t>(c)] * 100.0, 3)});
+  }
+  return t;
+}
+
+}  // namespace taamr::core

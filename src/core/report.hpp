@@ -1,0 +1,31 @@
+// Rendering of experiment results into the paper's tables.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace taamr::core {
+
+// Table I: dataset statistics, synthetic (this run) next to the paper's.
+Table table1_dataset_stats(const std::vector<DatasetResults>& results);
+
+// Table II: CHR@100 per (model, attack, scenario, eps), CHR values in %.
+Table table2_chr(const DatasetResults& results);
+
+// Table III: targeted attack success probability.
+Table table3_success(const DatasetResults& results);
+
+// Table IV: average PSNR / SSIM / PSM per (attack, eps); attacked-image
+// sets are deduplicated across models (the images do not depend on the MR).
+Table table4_visual(const DatasetResults& results);
+
+// Fig. 2: the single-item showcase, rendered as text.
+std::string fig2_text(const DatasetResults& results);
+
+// Baseline CHR@N of every category under both models (supplementary —
+// documents how source/target categories were chosen).
+Table baseline_chr_table(const DatasetResults& results);
+
+}  // namespace taamr::core

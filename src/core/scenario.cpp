@@ -1,0 +1,53 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+#include "data/categories.hpp"
+
+namespace taamr::core {
+
+std::string AttackScenario::label() const {
+  return data::category_name(source_category) + " -> " +
+         data::category_name(target_category);
+}
+
+std::vector<AttackScenario> paper_scenarios(const std::string& dataset_name,
+                                            const std::string& model_name) {
+  const bool men = dataset_name == "Amazon Men" || dataset_name == "amazon_men";
+  const bool women = dataset_name == "Amazon Women" || dataset_name == "amazon_women";
+  if (!men && !women) {
+    throw std::invalid_argument("paper_scenarios: unknown dataset '" + dataset_name + "'");
+  }
+  if (model_name != "VBPR" && model_name != "AMR") {
+    throw std::invalid_argument("paper_scenarios: unknown model '" + model_name + "'");
+  }
+  if (men) {
+    if (model_name == "VBPR") {
+      return {{data::kSock, data::kRunningShoe, true},
+              {data::kSock, data::kAnalogClock, false}};
+    }
+    return {{data::kSock, data::kRunningShoe, true},
+            {data::kSock, data::kJerseyTShirt, false}};
+  }
+  // Amazon Women uses the same scenario pair for both models.
+  return {{data::kMaillot, data::kBrassiere, true},
+          {data::kMaillot, data::kChain, false}};
+}
+
+std::vector<AttackScenario> all_dataset_scenarios(const std::string& dataset_name) {
+  std::vector<AttackScenario> all = paper_scenarios(dataset_name, "VBPR");
+  for (const AttackScenario& s : paper_scenarios(dataset_name, "AMR")) {
+    bool present = false;
+    for (const AttackScenario& existing : all) {
+      if (existing.source_category == s.source_category &&
+          existing.target_category == s.target_category) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) all.push_back(s);
+  }
+  return all;
+}
+
+}  // namespace taamr::core

@@ -1,0 +1,30 @@
+// Attack scenarios: the source -> target category pairs of the paper's
+// experimental protocol (Section IV-A5). The first scenario of each pair is
+// semantically similar, the second dissimilar. For AMR on Amazon Men the
+// paper swaps Analog Clock for Jersey/T-shirt because the former is not
+// highly recommended under AMR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taamr::core {
+
+struct AttackScenario {
+  std::int32_t source_category = 0;
+  std::int32_t target_category = 0;
+  bool semantically_similar = false;
+
+  std::string label() const;  // "Sock -> Running Shoe"
+};
+
+// Scenarios for a (dataset, recommender) pair; model_name is "VBPR" or "AMR".
+std::vector<AttackScenario> paper_scenarios(const std::string& dataset_name,
+                                            const std::string& model_name);
+
+// Every distinct (source, target) pair used on a dataset across both
+// models — the unit the attacked images are computed (and cached) at.
+std::vector<AttackScenario> all_dataset_scenarios(const std::string& dataset_name);
+
+}  // namespace taamr::core

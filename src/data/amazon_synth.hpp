@@ -1,0 +1,66 @@
+// Synthetic clones of the paper's two datasets (Table I): "Amazon Men" and
+// "Amazon Women", Clothing/Shoes/Jewelry implicit feedback. See DESIGN.md
+// substitution #1 for what is preserved and why.
+//
+// Generation model:
+//  - item categories follow a per-dataset popularity prior (long-tailed);
+//  - item popularity within a category is log-normal;
+//  - each user has a small set of focus categories blended with global
+//    popularity, then samples items popularity-proportionally;
+//  - every user has at least `min_interactions` (the paper's >=5 cold-user
+//    filter applied constructively), one of which is held out for testing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/interactions.hpp"
+
+namespace taamr::data {
+
+struct SynthSpec {
+  std::string name;
+  std::int64_t num_users = 0;
+  std::int64_t num_items = 0;
+  std::int64_t min_interactions = 5;
+  double mean_extra_interactions = 2.4;  // beyond the minimum; geometric
+  std::vector<double> category_weights;  // demand prior, size == num_categories()
+  // Optional catalog-composition prior (how many items each category has).
+  // Empty = same as category_weights. Real marketplaces have *fewer* items
+  // per unit of demand in hot categories (high sell-through), which is what
+  // makes an average item of a popular category rank well.
+  std::vector<double> item_category_weights;
+  double focus_mix = 0.5;                // weight of the user's focus categories
+  std::int64_t focus_categories = 3;
+  // Fraction of each focus draw spread over the drawn category's affinity
+  // group (see data::category_groups). 0 = independent category tastes.
+  double group_affinity = 0.7;
+  double item_pop_sigma = 1.0;           // log-normal within-category popularity
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+ImplicitDataset generate_synthetic_dataset(const SynthSpec& spec);
+
+// Named presets. scale = 1.0 reproduces the paper's Table I sizes;
+// the default bench scale (see kBenchScale) keeps the full pipeline
+// CI-friendly while preserving all structural ratios.
+inline constexpr double kBenchScale = 0.025;
+inline constexpr double kTestScale = 0.004;
+
+SynthSpec amazon_men_spec(double scale = kBenchScale);
+SynthSpec amazon_women_spec(double scale = kBenchScale);
+SynthSpec spec_by_name(const std::string& dataset_name, double scale = kBenchScale);
+
+// The paper's Table I reference statistics (for side-by-side printing).
+struct PaperStats {
+  std::string name;
+  std::int64_t users;
+  std::int64_t items;
+  std::int64_t feedback;
+};
+std::vector<PaperStats> paper_table1_stats();
+
+}  // namespace taamr::data

@@ -1,0 +1,132 @@
+#include "data/categories.hpp"
+
+#include <stdexcept>
+
+namespace taamr::data {
+
+namespace {
+
+CategoryInfo make(const std::string& name, std::initializer_list<float> primary,
+                  std::initializer_list<float> secondary, PatternKind pattern,
+                  ShapeKind shape, float frequency, float angle, float noise = 0.06f) {
+  CategoryInfo info;
+  info.name = name;
+  auto p = primary.begin();
+  auto s = secondary.begin();
+  // Palettes are compressed toward mid-grey: the 16 categories crowd the
+  // color space the way ImageNet's 1000 classes crowd ResNet50's input
+  // manifold, which is what gives targeted attacks realistic decision
+  // margins (see DESIGN.md, substitution #2).
+  constexpr float kPaletteCompression = 0.35f;
+  for (int i = 0; i < 3; ++i) {
+    info.style.primary[i] = 0.5f + (*(p + i) - 0.5f) * kPaletteCompression;
+    info.style.secondary[i] = 0.5f + (*(s + i) - 0.5f) * kPaletteCompression;
+  }
+  info.style.pattern = pattern;
+  info.style.shape = shape;
+  info.style.frequency = frequency;
+  info.style.angle = angle;
+  info.style.noise = noise;
+  return info;
+}
+
+std::vector<CategoryInfo> build_taxonomy() {
+  std::vector<CategoryInfo> t;
+  t.reserve(16);
+  // --- the similar pair on Amazon Men: stripes family, warm palette ---
+  t.push_back(make("Sock", {0.80f, 0.30f, 0.30f}, {0.95f, 0.90f, 0.85f},
+                   PatternKind::kStripes, ShapeKind::kBand, 6.0f, 0.0f));
+  // Running Shoe shares Sock's pattern family and silhouette; the classes
+  // are separated by stripe frequency/orientation — a texture cue the
+  // l_inf attack can rewrite (same construction as Maillot/Brassiere; it
+  // mirrors the paper's finding that Sock -> Running Shoe is its easiest
+  // targeted pair).
+  t.push_back(make("Running Shoe", {0.85f, 0.38f, 0.28f}, {0.95f, 0.92f, 0.80f},
+                   PatternKind::kStripes, ShapeKind::kBand, 9.5f, 0.55f));
+  // --- the dissimilar target on Amazon Men: rings family, cold palette ---
+  t.push_back(make("Analog Clock", {0.35f, 0.42f, 0.60f}, {0.92f, 0.94f, 0.97f},
+                   PatternKind::kRings, ShapeKind::kRing, 5.0f, 0.0f));
+  // Jersey / T-shirt: used as the alternative target for AMR on Amazon Men.
+  t.push_back(make("Jersey, T-shirt", {0.30f, 0.60f, 0.45f}, {0.95f, 0.95f, 0.95f},
+                   PatternKind::kChecker, ShapeKind::kTriangle, 4.0f, 0.0f));
+  // --- the similar pair on Amazon Women: gradient family, blue palette ---
+  t.push_back(make("Maillot", {0.30f, 0.50f, 0.80f}, {0.80f, 0.88f, 0.95f},
+                   PatternKind::kGradient, ShapeKind::kTriangle, 3.0f, 0.2f));
+  // Brassiere shares Maillot's pattern family *and* silhouette; the classes
+  // are separated by pattern orientation/frequency — a texture cue, which is
+  // exactly the kind of evidence an l_inf pixel attack can rewrite. This is
+  // why the paper's Maillot -> Brassiere pair is its most confusable one
+  // (targeted FGSM already succeeds 45-56% there).
+  t.push_back(make("Brassiere", {0.44f, 0.40f, 0.72f}, {0.88f, 0.82f, 0.95f},
+                   PatternKind::kGradient, ShapeKind::kTriangle, 6.0f, 1.1f));
+  // --- the dissimilar target on Amazon Women: gold dots on a ring ---
+  t.push_back(make("Chain", {0.82f, 0.70f, 0.30f}, {0.35f, 0.30f, 0.20f},
+                   PatternKind::kDots, ShapeKind::kRing, 9.0f, 0.0f));
+  // --- filler categories to give the recommender a realistic catalog ---
+  t.push_back(make("Sandal", {0.70f, 0.55f, 0.35f}, {0.92f, 0.88f, 0.78f},
+                   PatternKind::kStripes, ShapeKind::kEllipse, 3.0f, 1.2f));
+  t.push_back(make("Boot", {0.40f, 0.28f, 0.20f}, {0.75f, 0.65f, 0.55f},
+                   PatternKind::kGradient, ShapeKind::kEllipse, 2.0f, 1.4f));
+  t.push_back(make("Handbag", {0.60f, 0.25f, 0.45f}, {0.90f, 0.80f, 0.88f},
+                   PatternKind::kChecker, ShapeKind::kEllipse, 6.0f, 0.6f));
+  t.push_back(make("Sunglasses", {0.15f, 0.15f, 0.18f}, {0.70f, 0.75f, 0.82f},
+                   PatternKind::kGradient, ShapeKind::kTwoBlobs, 5.0f, 0.0f));
+  t.push_back(make("Hat", {0.55f, 0.50f, 0.30f}, {0.90f, 0.88f, 0.75f},
+                   PatternKind::kZigzag, ShapeKind::kEllipse, 5.0f, 0.0f));
+  t.push_back(make("Jacket", {0.25f, 0.30f, 0.35f}, {0.60f, 0.66f, 0.72f},
+                   PatternKind::kZigzag, ShapeKind::kTriangle, 7.0f, 0.8f));
+  t.push_back(make("Jeans", {0.25f, 0.35f, 0.60f}, {0.55f, 0.65f, 0.85f},
+                   PatternKind::kStripes, ShapeKind::kFull, 12.0f, 1.57f));
+  t.push_back(make("Watch", {0.50f, 0.52f, 0.55f}, {0.95f, 0.95f, 0.92f},
+                   PatternKind::kRings, ShapeKind::kBand, 8.0f, 0.0f));
+  t.push_back(make("Scarf", {0.75f, 0.45f, 0.55f}, {0.95f, 0.85f, 0.88f},
+                   PatternKind::kZigzag, ShapeKind::kBand, 8.0f, 0.0f));
+  return t;
+}
+
+}  // namespace
+
+const std::vector<CategoryInfo>& fashion_taxonomy() {
+  static const std::vector<CategoryInfo> taxonomy = build_taxonomy();
+  return taxonomy;
+}
+
+const std::vector<std::vector<std::int32_t>>& category_groups() {
+  static const std::vector<std::vector<std::int32_t>> groups = {
+      {kSock, kRunningShoe},                                        // athletic footwear
+      {kSandal, kBoot},                                             // seasonal footwear
+      {kJerseyTShirt, kJacket, kScarf},                             // tops & layers
+      {kMaillot, kBrassiere},                                       // intimates/swim
+      {kChain, kHandbag, kSunglasses, kHat, kWatch, kAnalogClock},  // accessories
+      {kJeans},                                                     // bottoms
+  };
+  return groups;
+}
+
+std::int32_t group_of(std::int32_t category) {
+  const auto& groups = category_groups();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::int32_t c : groups[g]) {
+      if (c == category) return static_cast<std::int32_t>(g);
+    }
+  }
+  throw std::invalid_argument("group_of: unknown category");
+}
+
+std::int32_t num_categories() {
+  return static_cast<std::int32_t>(fashion_taxonomy().size());
+}
+
+const std::string& category_name(std::int32_t id) {
+  return fashion_taxonomy().at(static_cast<std::size_t>(id)).name;
+}
+
+std::int32_t category_id_by_name(const std::string& name) {
+  const auto& taxonomy = fashion_taxonomy();
+  for (std::size_t i = 0; i < taxonomy.size(); ++i) {
+    if (taxonomy[i].name == name) return static_cast<std::int32_t>(i);
+  }
+  throw std::invalid_argument("category_id_by_name: unknown category '" + name + "'");
+}
+
+}  // namespace taamr::data

@@ -1,0 +1,88 @@
+// The product-category taxonomy shared by both synthetic datasets.
+//
+// Each category carries a *visual style prototype* used by the procedural
+// image generator. The prototypes are placed in a controlled texture space
+// so that the paper's "semantically similar vs dissimilar" scenarios are
+// meaningful: Sock and Running Shoe share pattern family and palette,
+// Sock and Analog Clock do not (see DESIGN.md, substitution #4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taamr::data {
+
+enum class PatternKind : std::int32_t {
+  kStripes = 0,
+  kChecker = 1,
+  kDots = 2,
+  kRings = 3,
+  kGradient = 4,
+  kZigzag = 5,
+};
+
+enum class ShapeKind : std::int32_t {
+  kFull = 0,      // pattern fills the frame
+  kBand = 1,      // horizontal band (sock / scarf silhouettes)
+  kEllipse = 2,   // single blob (shoe / bag silhouettes)
+  kRing = 3,      // annulus (clock / chain silhouettes)
+  kTriangle = 4,  // torso-ish wedge (shirts / swimwear)
+  kTwoBlobs = 5,  // paired blobs (brassiere / sunglasses silhouettes)
+};
+
+struct CategoryStyle {
+  float primary[3] = {0.5f, 0.5f, 0.5f};    // RGB in [0,1]
+  float secondary[3] = {0.9f, 0.9f, 0.9f};  // pattern counter-color
+  PatternKind pattern = PatternKind::kStripes;
+  ShapeKind shape = ShapeKind::kFull;
+  float frequency = 6.0f;  // pattern spatial frequency
+  float angle = 0.0f;      // pattern orientation (radians)
+  float noise = 0.02f;     // additive pixel noise level
+};
+
+struct CategoryInfo {
+  std::string name;
+  CategoryStyle style;
+};
+
+// Category ids used throughout the experiments (stable indices into the
+// taxonomy). Matches the paper's attack scenarios.
+enum CategoryId : std::int32_t {
+  kSock = 0,
+  kRunningShoe = 1,
+  kAnalogClock = 2,
+  kJerseyTShirt = 3,
+  kMaillot = 4,
+  kBrassiere = 5,
+  kChain = 6,
+  kSandal = 7,
+  kBoot = 8,
+  kHandbag = 9,
+  kSunglasses = 10,
+  kHat = 11,
+  kJacket = 12,
+  kJeans = 13,
+  kWatch = 14,
+  kScarf = 15,
+};
+
+// The fixed 16-category fashion taxonomy.
+const std::vector<CategoryInfo>& fashion_taxonomy();
+
+// Affinity groups: categories that the same shoppers tend to buy together
+// (footwear, tops, intimates, accessories, ...). The synthetic user
+// generator correlates preferences within a group — the real-world reason
+// the paper's semantically-similar attacks (Sock -> Running Shoe) lift CHR
+// more than dissimilar ones (Sock -> Analog Clock): the source category's
+// fans are also fans of a similar target.
+const std::vector<std::vector<std::int32_t>>& category_groups();
+// Index into category_groups() for a category.
+std::int32_t group_of(std::int32_t category);
+
+std::int32_t num_categories();
+const std::string& category_name(std::int32_t id);
+// Throws std::invalid_argument for unknown names.
+std::int32_t category_id_by_name(const std::string& name);
+
+}  // namespace taamr::data

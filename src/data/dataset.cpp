@@ -1,0 +1,84 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "data/categories.hpp"
+
+namespace taamr::data {
+
+Tensor ImageCatalog::image(std::int64_t item) const {
+  if (item < 0 || item >= num_items()) {
+    throw std::out_of_range("ImageCatalog::image: item out of range");
+  }
+  Tensor out({3, image_size, image_size});
+  std::memcpy(out.data(), images.data() + item * image_elems(),
+              static_cast<std::size_t>(image_elems()) * sizeof(float));
+  return out;
+}
+
+void ImageCatalog::set_image(std::int64_t item, const Tensor& img) {
+  if (item < 0 || item >= num_items()) {
+    throw std::out_of_range("ImageCatalog::set_image: item out of range");
+  }
+  if (img.numel() != image_elems()) {
+    throw std::invalid_argument("ImageCatalog::set_image: wrong image size");
+  }
+  std::memcpy(images.data() + item * image_elems(), img.data(),
+              static_cast<std::size_t>(image_elems()) * sizeof(float));
+}
+
+ImageCatalog render_catalog(const ImplicitDataset& dataset, const ImageGenConfig& config) {
+  const auto& taxonomy = fashion_taxonomy();
+  ImageCatalog catalog;
+  catalog.image_size = config.size;
+  catalog.images = Tensor({dataset.num_items, 3, config.size, config.size});
+  const std::int64_t elems = catalog.image_elems();
+  for (std::int64_t i = 0; i < dataset.num_items; ++i) {
+    const auto& style =
+        taxonomy[static_cast<std::size_t>(
+                     dataset.item_category[static_cast<std::size_t>(i)])]
+            .style;
+    const Tensor img = render_item_image(
+        style, dataset.item_image_seed[static_cast<std::size_t>(i)], config);
+    std::memcpy(catalog.images.data() + i * elems, img.data(),
+                static_cast<std::size_t>(elems) * sizeof(float));
+  }
+  return catalog;
+}
+
+Tensor gather_images(const ImageCatalog& catalog, std::span<const std::int32_t> items) {
+  const std::int64_t n = static_cast<std::int64_t>(items.size());
+  if (n == 0) throw std::invalid_argument("gather_images: empty item list");
+  Tensor batch({n, 3, catalog.image_size, catalog.image_size});
+  const std::int64_t elems = catalog.image_elems();
+  for (std::int64_t b = 0; b < n; ++b) {
+    const std::int32_t item = items[static_cast<std::size_t>(b)];
+    if (item < 0 || item >= catalog.num_items()) {
+      throw std::out_of_range("gather_images: item out of range");
+    }
+    std::memcpy(batch.data() + b * elems, catalog.images.data() + item * elems,
+                static_cast<std::size_t>(elems) * sizeof(float));
+  }
+  return batch;
+}
+
+void scatter_images(ImageCatalog& catalog, std::span<const std::int32_t> items,
+                    const Tensor& batch) {
+  const std::int64_t n = static_cast<std::int64_t>(items.size());
+  if (batch.ndim() != 4 || batch.dim(0) != n ||
+      batch.numel() != n * catalog.image_elems()) {
+    throw std::invalid_argument("scatter_images: batch shape does not match items");
+  }
+  const std::int64_t elems = catalog.image_elems();
+  for (std::int64_t b = 0; b < n; ++b) {
+    const std::int32_t item = items[static_cast<std::size_t>(b)];
+    if (item < 0 || item >= catalog.num_items()) {
+      throw std::out_of_range("scatter_images: item out of range");
+    }
+    std::memcpy(catalog.images.data() + item * elems, batch.data() + b * elems,
+                static_cast<std::size_t>(elems) * sizeof(float));
+  }
+}
+
+}  // namespace taamr::data

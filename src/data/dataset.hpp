@@ -1,0 +1,40 @@
+// Item image catalog: every item of an ImplicitDataset rendered to its
+// product photo, plus gather/scatter helpers used by the attack pipeline
+// (attack a category's images, write the perturbed versions back, and
+// re-extract features).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "data/image_gen.hpp"
+#include "data/interactions.hpp"
+#include "tensor/tensor.hpp"
+
+namespace taamr::data {
+
+struct ImageCatalog {
+  Tensor images;  // [num_items, 3, S, S], values in [0, 1]
+  std::int64_t image_size = 0;
+
+  std::int64_t num_items() const { return images.empty() ? 0 : images.dim(0); }
+  std::int64_t image_elems() const { return 3 * image_size * image_size; }
+
+  // Copy of one item's image, [3, S, S].
+  Tensor image(std::int64_t item) const;
+  // Overwrite one item's image.
+  void set_image(std::int64_t item, const Tensor& img);
+};
+
+// Render the full catalog deterministically from the dataset's item seeds.
+ImageCatalog render_catalog(const ImplicitDataset& dataset,
+                            const ImageGenConfig& config = {});
+
+// Stack the images of `items` into a batch [n, 3, S, S].
+Tensor gather_images(const ImageCatalog& catalog, std::span<const std::int32_t> items);
+
+// Write a batch produced by gather_images (possibly perturbed) back.
+void scatter_images(ImageCatalog& catalog, std::span<const std::int32_t> items,
+                    const Tensor& batch);
+
+}  // namespace taamr::data

@@ -1,0 +1,146 @@
+#include "data/image_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taamr::data {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+// Pattern intensity in [0, 1] at normalized coordinates (u, v) in [-1, 1].
+float pattern_value(PatternKind kind, float u, float v, float freq, float angle,
+                    float phase) {
+  const float ur = u * std::cos(angle) - v * std::sin(angle);
+  const float vr = u * std::sin(angle) + v * std::cos(angle);
+  switch (kind) {
+    case PatternKind::kStripes:
+      return 0.5f + 0.5f * std::sin(freq * ur * kPi + phase);
+    case PatternKind::kChecker: {
+      const float a = std::sin(freq * ur * kPi + phase);
+      const float b = std::sin(freq * vr * kPi + phase * 0.7f);
+      return (a * b > 0.0f) ? 1.0f : 0.0f;
+    }
+    case PatternKind::kDots: {
+      const float cx = std::fmod(std::fabs(ur * freq + phase), 2.0f) - 1.0f;
+      const float cy = std::fmod(std::fabs(vr * freq + phase * 0.5f), 2.0f) - 1.0f;
+      return (cx * cx + cy * cy < 0.35f) ? 1.0f : 0.0f;
+    }
+    case PatternKind::kRings: {
+      const float r = std::sqrt(ur * ur + vr * vr);
+      return 0.5f + 0.5f * std::sin(freq * r * kPi * 2.0f + phase);
+    }
+    case PatternKind::kGradient:
+      return std::clamp(0.5f + 0.5f * (ur * std::cos(phase) + vr * std::sin(phase)),
+                        0.0f, 1.0f);
+    case PatternKind::kZigzag: {
+      const float saw = std::fabs(std::fmod(freq * ur + phase, 2.0f) - 1.0f);
+      return (vr * 0.5f + 0.5f + 0.3f * saw > 0.6f) ? 1.0f : 0.0f;
+    }
+  }
+  return 0.5f;
+}
+
+// Silhouette mask in [0, 1] (soft edges keep gradients informative).
+float shape_mask(ShapeKind kind, float u, float v, float scale) {
+  auto soft = [](float signed_dist) {
+    // Inside where signed_dist < 0; ~2px soft edge at 32x32.
+    return std::clamp(0.5f - signed_dist * 8.0f, 0.0f, 1.0f);
+  };
+  switch (kind) {
+    case ShapeKind::kFull:
+      return 1.0f;
+    case ShapeKind::kBand:
+      return soft(std::fabs(v) - 0.45f * scale);
+    case ShapeKind::kEllipse: {
+      const float d = (u * u) / (0.7f * 0.7f * scale * scale) +
+                      (v * v) / (0.5f * 0.5f * scale * scale);
+      return soft(d - 1.0f);
+    }
+    case ShapeKind::kRing: {
+      const float r = std::sqrt(u * u + v * v);
+      const float outer = soft(r - 0.8f * scale);
+      const float inner = soft(0.35f * scale - r);
+      return std::min(outer, 1.0f - inner * 0.0f) * (r > 0.3f * scale ? 1.0f : 0.35f);
+    }
+    case ShapeKind::kTriangle: {
+      // Wedge widening downward: |u| <= (v + 1) / 2 within vertical bounds.
+      const float limit = 0.15f + 0.45f * (v + 1.0f) * 0.5f * scale;
+      const float d = std::fabs(u) - limit;
+      const float vd = std::fabs(v) - 0.85f * scale;
+      return soft(std::max(d, vd));
+    }
+    case ShapeKind::kTwoBlobs: {
+      const float dx = 0.42f * scale;
+      const float r1 = std::hypot(u - dx, v) - 0.38f * scale;
+      const float r2 = std::hypot(u + dx, v) - 0.38f * scale;
+      return soft(std::min(r1, r2));
+    }
+  }
+  return 1.0f;
+}
+
+}  // namespace
+
+Tensor render_item_image(const CategoryStyle& style, std::uint64_t item_seed,
+                         const ImageGenConfig& config) {
+  Rng rng(item_seed);
+  const std::int64_t s = config.size;
+
+  // Per-item jitter of the category prototype.
+  float primary[3], secondary[3];
+  for (int c = 0; c < 3; ++c) {
+    primary[c] = std::clamp(
+        style.primary[c] + rng.gaussian_f(0.0f, config.jitter_hue), 0.0f, 1.0f);
+    secondary[c] = std::clamp(
+        style.secondary[c] + rng.gaussian_f(0.0f, config.jitter_hue), 0.0f, 1.0f);
+  }
+  const float freq =
+      style.frequency * (1.0f + rng.gaussian_f(0.0f, config.jitter_freq));
+  const float angle = style.angle + rng.gaussian_f(0.0f, config.jitter_angle);
+  const float phase = rng.uniform_f(0.0f, 2.0f * kPi);
+  const float scale = 1.0f + rng.gaussian_f(0.0f, config.jitter_scale);
+  const float bg = 0.88f + rng.gaussian_f(0.0f, 0.02f);  // studio-grey backdrop
+
+  Tensor img({3, s, s});
+  for (std::int64_t y = 0; y < s; ++y) {
+    for (std::int64_t x = 0; x < s; ++x) {
+      const float u = 2.0f * (static_cast<float>(x) + 0.5f) / static_cast<float>(s) - 1.0f;
+      const float v = 2.0f * (static_cast<float>(y) + 0.5f) / static_cast<float>(s) - 1.0f;
+      const float t = pattern_value(style.pattern, u, v, freq, angle, phase);
+      const float m = shape_mask(style.shape, u, v, scale);
+      for (int c = 0; c < 3; ++c) {
+        const float fg = primary[c] * (1.0f - t) + secondary[c] * t;
+        float value = fg * m + bg * (1.0f - m);
+        value += rng.gaussian_f(0.0f, style.noise);
+        img.at(c, y, x) = std::clamp(value, 0.0f, 1.0f);
+      }
+    }
+  }
+  return img;
+}
+
+LabelledImages render_training_set(std::int64_t images_per_category,
+                                   std::uint64_t seed_base,
+                                   const ImageGenConfig& config) {
+  const auto& taxonomy = fashion_taxonomy();
+  const std::int64_t k = static_cast<std::int64_t>(taxonomy.size());
+  const std::int64_t n = images_per_category * k;
+  LabelledImages out;
+  out.images = Tensor({n, 3, config.size, config.size});
+  out.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t plane = 3 * config.size * config.size;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t cat = i % k;
+    const std::uint64_t seed =
+        seed_base ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1));
+    const Tensor img =
+        render_item_image(taxonomy[static_cast<std::size_t>(cat)].style, seed, config);
+    std::copy(img.flat().begin(), img.flat().end(), out.images.data() + i * plane);
+    out.labels[static_cast<std::size_t>(i)] = cat;
+  }
+  return out;
+}
+
+}  // namespace taamr::data

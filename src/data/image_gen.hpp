@@ -1,0 +1,40 @@
+// Procedural product-image renderer: the stand-in for Amazon.com product
+// photos. Every item gets a deterministic [3, S, S] image in [0, 1] whose
+// gross appearance (pattern family, silhouette, palette) is decided by its
+// category style and whose details (phase, hue jitter, scale, noise) are
+// decided by the item seed — giving the CNN a classification task with
+// real intra-class variation.
+#pragma once
+
+#include <cstdint>
+
+#include "data/categories.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace taamr::data {
+
+struct ImageGenConfig {
+  std::int64_t size = 32;       // square images, [3, size, size]
+  float jitter_hue = 0.08f;     // per-item RGB jitter stddev
+  float jitter_freq = 0.25f;    // relative frequency jitter
+  float jitter_angle = 0.20f;   // radians
+  float jitter_scale = 0.15f;   // silhouette scale jitter
+};
+
+// Renders one item image. item_seed makes the image deterministic given the
+// style; two items of the same category share style but not details.
+Tensor render_item_image(const CategoryStyle& style, std::uint64_t item_seed,
+                         const ImageGenConfig& config = {});
+
+// Renders a labelled batch for CNN training/eval: images [N, 3, S, S] and
+// round-robin category labels. `seed_base` keys the whole batch.
+struct LabelledImages {
+  Tensor images;
+  std::vector<std::int64_t> labels;
+};
+LabelledImages render_training_set(std::int64_t images_per_category,
+                                   std::uint64_t seed_base,
+                                   const ImageGenConfig& config = {});
+
+}  // namespace taamr::data

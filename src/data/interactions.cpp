@@ -1,0 +1,111 @@
+#include "data/interactions.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/categories.hpp"
+
+namespace taamr::data {
+
+std::int64_t ImplicitDataset::num_feedback() const {
+  std::int64_t n = num_train_feedback();
+  for (std::int32_t t : test) {
+    if (t >= 0) ++n;
+  }
+  return n;
+}
+
+std::int64_t ImplicitDataset::num_train_feedback() const {
+  std::int64_t n = 0;
+  for (const auto& items : train) n += static_cast<std::int64_t>(items.size());
+  return n;
+}
+
+bool ImplicitDataset::user_interacted(std::int64_t user, std::int32_t item) const {
+  const auto& items = train.at(static_cast<std::size_t>(user));
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+std::vector<std::int32_t> ImplicitDataset::items_of_category(std::int32_t category) const {
+  std::vector<std::int32_t> out;
+  for (std::int64_t i = 0; i < num_items; ++i) {
+    if (item_category[static_cast<std::size_t>(i)] == category) {
+      out.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> ImplicitDataset::item_train_counts() const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_items), 0);
+  for (const auto& items : train) {
+    for (std::int32_t i : items) ++counts[static_cast<std::size_t>(i)];
+  }
+  return counts;
+}
+
+void ImplicitDataset::validate(std::int64_t min_interactions) const {
+  if (static_cast<std::int64_t>(train.size()) != num_users ||
+      static_cast<std::int64_t>(test.size()) != num_users) {
+    throw std::logic_error("ImplicitDataset: per-user array sizes disagree with num_users");
+  }
+  if (static_cast<std::int64_t>(item_category.size()) != num_items ||
+      static_cast<std::int64_t>(item_image_seed.size()) != num_items) {
+    throw std::logic_error("ImplicitDataset: per-item array sizes disagree with num_items");
+  }
+  const std::int32_t k = num_categories();
+  for (std::int32_t c : item_category) {
+    if (c < 0 || c >= k) throw std::logic_error("ImplicitDataset: category out of range");
+  }
+  for (std::int64_t u = 0; u < num_users; ++u) {
+    const auto& items = train[static_cast<std::size_t>(u)];
+    if (static_cast<std::int64_t>(items.size()) < min_interactions) {
+      throw std::logic_error("ImplicitDataset: user below minimum interactions");
+    }
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      if (items[j] < 0 || items[j] >= num_items) {
+        throw std::logic_error("ImplicitDataset: item id out of range");
+      }
+      if (j > 0 && items[j] <= items[j - 1]) {
+        throw std::logic_error("ImplicitDataset: train items not sorted/unique");
+      }
+    }
+    const std::int32_t t = test[static_cast<std::size_t>(u)];
+    if (t < -1 || t >= num_items) {
+      throw std::logic_error("ImplicitDataset: test item out of range");
+    }
+    if (t >= 0 && user_interacted(u, t)) {
+      throw std::logic_error("ImplicitDataset: test item leaks into train");
+    }
+  }
+}
+
+DatasetStats compute_stats(const ImplicitDataset& dataset) {
+  DatasetStats stats;
+  stats.num_users = dataset.num_users;
+  stats.num_items = dataset.num_items;
+  stats.num_feedback = dataset.num_feedback();
+  if (dataset.num_users > 0 && dataset.num_items > 0) {
+    stats.density = static_cast<double>(stats.num_feedback) /
+                    (static_cast<double>(dataset.num_users) *
+                     static_cast<double>(dataset.num_items));
+    stats.mean_interactions_per_user =
+        static_cast<double>(stats.num_feedback) / static_cast<double>(dataset.num_users);
+  }
+  const std::int32_t k = num_categories();
+  stats.items_per_category.assign(static_cast<std::size_t>(k), 0);
+  stats.feedback_per_category.assign(static_cast<std::size_t>(k), 0);
+  for (std::int64_t i = 0; i < dataset.num_items; ++i) {
+    ++stats.items_per_category[static_cast<std::size_t>(
+        dataset.item_category[static_cast<std::size_t>(i)])];
+  }
+  for (const auto& items : dataset.train) {
+    for (std::int32_t i : items) {
+      ++stats.feedback_per_category[static_cast<std::size_t>(
+          dataset.item_category[static_cast<std::size_t>(i)])];
+    }
+  }
+  return stats;
+}
+
+}  // namespace taamr::data

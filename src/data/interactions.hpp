@@ -1,0 +1,62 @@
+// Implicit-feedback dataset model: the user-item feedback matrix S of the
+// paper (Definition 1), stored sparsely, with a leave-one-out test split
+// and the per-item category labels TAaMR's scenarios are defined over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taamr::data {
+
+struct ImplicitDataset {
+  std::string name;
+  std::int64_t num_users = 0;
+  std::int64_t num_items = 0;
+
+  // Ground-truth category per item (indices into fashion_taxonomy()).
+  std::vector<std::int32_t> item_category;
+
+  // Per-user training interactions (sorted ascending, unique).
+  std::vector<std::vector<std::int32_t>> train;
+
+  // Per-user held-out test item, or -1 when the user has none.
+  std::vector<std::int32_t> test;
+
+  // Deterministic image identity per item; feeds render_item_image so a
+  // dataset regenerated from the same spec has identical product photos.
+  std::vector<std::uint64_t> item_image_seed;
+
+  // |S|: train + test interactions.
+  std::int64_t num_feedback() const;
+  // Training interactions only.
+  std::int64_t num_train_feedback() const;
+
+  // Binary search over the user's sorted training items.
+  bool user_interacted(std::int64_t user, std::int32_t item) const;
+
+  // All items of a category.
+  std::vector<std::int32_t> items_of_category(std::int32_t category) const;
+
+  // Item popularity (training interaction counts per item).
+  std::vector<std::int64_t> item_train_counts() const;
+
+  // Structural invariants (sorted/unique/in-range, test not in train,
+  // >= min_interactions per user). Throws std::logic_error on violation;
+  // used by tests and by generate_synthetic_dataset's self-check.
+  void validate(std::int64_t min_interactions = 1) const;
+};
+
+struct DatasetStats {
+  std::int64_t num_users = 0;
+  std::int64_t num_items = 0;
+  std::int64_t num_feedback = 0;
+  double density = 0.0;
+  double mean_interactions_per_user = 0.0;
+  std::vector<std::int64_t> items_per_category;
+  std::vector<std::int64_t> feedback_per_category;
+};
+
+DatasetStats compute_stats(const ImplicitDataset& dataset);
+
+}  // namespace taamr::data

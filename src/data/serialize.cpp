@@ -1,0 +1,77 @@
+#include "data/serialize.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/io.hpp"
+
+namespace taamr::data {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x54414d44;  // "TAMD"
+constexpr std::uint32_t kVersion = 1;
+
+std::vector<std::int64_t> widen(const std::vector<std::int32_t>& v) {
+  return std::vector<std::int64_t>(v.begin(), v.end());
+}
+
+std::vector<std::int32_t> narrow(const std::vector<std::int64_t>& v) {
+  std::vector<std::int32_t> out;
+  out.reserve(v.size());
+  for (std::int64_t x : v) {
+    if (x < INT32_MIN || x > INT32_MAX) {
+      throw std::runtime_error("load_dataset: id out of 32-bit range");
+    }
+    out.push_back(static_cast<std::int32_t>(x));
+  }
+  return out;
+}
+}  // namespace
+
+void save_dataset(std::ostream& os, const ImplicitDataset& dataset) {
+  io::write_magic(os, kMagic, kVersion);
+  io::write_string(os, dataset.name);
+  io::write_u64(os, static_cast<std::uint64_t>(dataset.num_users));
+  io::write_u64(os, static_cast<std::uint64_t>(dataset.num_items));
+  io::write_i64_vector(os, widen(dataset.item_category));
+  std::vector<std::int64_t> seeds(dataset.item_image_seed.begin(),
+                                  dataset.item_image_seed.end());
+  io::write_i64_vector(os, seeds);
+  for (const auto& items : dataset.train) io::write_i64_vector(os, widen(items));
+  io::write_i64_vector(os, widen(dataset.test));
+}
+
+ImplicitDataset load_dataset(std::istream& is) {
+  const std::uint32_t version = io::read_magic(is, kMagic);
+  if (version != kVersion) {
+    throw std::runtime_error("load_dataset: unsupported version");
+  }
+  ImplicitDataset ds;
+  ds.name = io::read_string(is);
+  ds.num_users = static_cast<std::int64_t>(io::read_u64(is));
+  ds.num_items = static_cast<std::int64_t>(io::read_u64(is));
+  ds.item_category = narrow(io::read_i64_vector(is));
+  const auto seeds = io::read_i64_vector(is);
+  ds.item_image_seed.assign(seeds.begin(), seeds.end());
+  ds.train.reserve(static_cast<std::size_t>(ds.num_users));
+  for (std::int64_t u = 0; u < ds.num_users; ++u) {
+    ds.train.push_back(narrow(io::read_i64_vector(is)));
+  }
+  ds.test = narrow(io::read_i64_vector(is));
+  ds.validate();  // refuse to return corrupt data
+  return ds;
+}
+
+void save_dataset_file(const std::string& path, const ImplicitDataset& dataset) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_dataset_file: cannot open " + path);
+  save_dataset(os, dataset);
+}
+
+ImplicitDataset load_dataset_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_dataset_file: cannot open " + path);
+  return load_dataset(is);
+}
+
+}  // namespace taamr::data

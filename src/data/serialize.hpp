@@ -1,0 +1,18 @@
+// (De)serialization of ImplicitDataset — lets downstream users persist a
+// generated dataset (or load a converted real one) instead of regenerating.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/interactions.hpp"
+
+namespace taamr::data {
+
+void save_dataset(std::ostream& os, const ImplicitDataset& dataset);
+ImplicitDataset load_dataset(std::istream& is);
+
+void save_dataset_file(const std::string& path, const ImplicitDataset& dataset);
+ImplicitDataset load_dataset_file(const std::string& path);
+
+}  // namespace taamr::data

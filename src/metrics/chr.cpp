@@ -1,0 +1,44 @@
+#include "metrics/chr.hpp"
+
+#include <stdexcept>
+
+#include "data/categories.hpp"
+
+namespace taamr::metrics {
+
+std::vector<double> category_hit_ratio_all(
+    const std::vector<std::vector<std::int32_t>>& lists,
+    const data::ImplicitDataset& dataset, std::int64_t n) {
+  if (n <= 0) throw std::invalid_argument("category_hit_ratio: non-positive N");
+  if (static_cast<std::int64_t>(lists.size()) != dataset.num_users) {
+    throw std::invalid_argument("category_hit_ratio: lists/users mismatch");
+  }
+  const std::int32_t k = data::num_categories();
+  std::vector<double> hits(static_cast<std::size_t>(k), 0.0);
+  for (const auto& list : lists) {
+    if (static_cast<std::int64_t>(list.size()) > n) {
+      throw std::invalid_argument("category_hit_ratio: a list is longer than N");
+    }
+    for (std::int32_t item : list) {
+      if (item < 0 || item >= dataset.num_items) {
+        throw std::invalid_argument("category_hit_ratio: item out of range");
+      }
+      ++hits[static_cast<std::size_t>(
+          dataset.item_category[static_cast<std::size_t>(item)])];
+    }
+  }
+  const double denom = static_cast<double>(n) * static_cast<double>(dataset.num_users);
+  for (double& h : hits) h /= denom;
+  return hits;
+}
+
+double category_hit_ratio(const std::vector<std::vector<std::int32_t>>& lists,
+                          const data::ImplicitDataset& dataset, std::int32_t category,
+                          std::int64_t n) {
+  if (category < 0 || category >= data::num_categories()) {
+    throw std::invalid_argument("category_hit_ratio: category out of range");
+  }
+  return category_hit_ratio_all(lists, dataset, n)[static_cast<std::size_t>(category)];
+}
+
+}  // namespace taamr::metrics

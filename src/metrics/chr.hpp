@@ -1,0 +1,28 @@
+// Category Hit Ratio (Definition 5): the metric the paper introduces.
+//   CHR@N(I_c, U) = 1/(N|U|) * sum_u sum_{i in I_c \ I_u+} hit(i, u)
+// i.e. the fraction of top-N slots occupied by items of category c
+// (training items are excluded from the lists upstream, which realizes the
+// I_c \ I_u+ restriction). Values are fractions in [0, 1]; the paper's
+// tables print them multiplied by 100.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/interactions.hpp"
+
+namespace taamr::metrics {
+
+// CHR@N for one category. `lists` are per-user top-N lists (e.g. from
+// recsys::top_n_lists); n must be the N they were cut at.
+double category_hit_ratio(const std::vector<std::vector<std::int32_t>>& lists,
+                          const data::ImplicitDataset& dataset, std::int32_t category,
+                          std::int64_t n);
+
+// CHR@N for every category at once (single pass over the lists). The
+// entries sum to <= 1 (== 1 when every list is full length n).
+std::vector<double> category_hit_ratio_all(
+    const std::vector<std::vector<std::int32_t>>& lists,
+    const data::ImplicitDataset& dataset, std::int64_t n);
+
+}  // namespace taamr::metrics

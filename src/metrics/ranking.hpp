@@ -1,0 +1,31 @@
+// Standard top-N ranking metrics on the leave-one-out split — used to check
+// that the recommenders actually learned something before attacking them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/interactions.hpp"
+
+namespace taamr::metrics {
+
+// Fraction of users whose held-out test item appears in their top-N list.
+double hit_ratio_at_n(const std::vector<std::vector<std::int32_t>>& lists,
+                      const data::ImplicitDataset& dataset);
+
+// Mean NDCG@N with the single test item as the only relevant one
+// (DCG = 1/log2(rank+1), IDCG = 1).
+double ndcg_at_n(const std::vector<std::vector<std::int32_t>>& lists,
+                 const data::ImplicitDataset& dataset);
+
+// Precision@N with the single test item as the only relevant one:
+// hits / (evaluated users * N). N is taken from the longest list.
+double precision_at_n(const std::vector<std::vector<std::int32_t>>& lists,
+                      const data::ImplicitDataset& dataset);
+
+// Recall@N: with one relevant item per user this equals HR@N; provided for
+// API completeness (some downstream scripts expect the name).
+double recall_at_n(const std::vector<std::vector<std::int32_t>>& lists,
+                   const data::ImplicitDataset& dataset);
+
+}  // namespace taamr::metrics

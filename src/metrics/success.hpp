@@ -1,0 +1,27 @@
+// Attack success probability (Table III): the fraction of attacked images
+// the classifier assigns to the adversary's target class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/classifier.hpp"
+#include "tensor/tensor.hpp"
+
+namespace taamr::metrics {
+
+struct SuccessStats {
+  double success_rate = 0.0;       // P[argmax F(x*) == target]
+  double mean_target_prob = 0.0;   // mean softmax probability of the target
+  std::int64_t num_images = 0;
+};
+
+SuccessStats attack_success(nn::Classifier& classifier, const Tensor& attacked_images,
+                            std::int64_t target_class);
+
+// Untargeted counterpart: fraction whose prediction moved away from
+// `source_class` (used by the untargeted-attack extension benches).
+double misclassification_rate(nn::Classifier& classifier, const Tensor& attacked_images,
+                              std::int64_t source_class);
+
+}  // namespace taamr::metrics

@@ -1,0 +1,44 @@
+// Per-channel batch normalization over [N, C, H, W], with running
+// statistics for inference mode. Backward supports both modes: the
+// training-mode Jacobian for learning, and the (diagonal) inference-mode
+// Jacobian — the latter is what the adversarial attacks differentiate
+// through, since attacks run against the frozen network.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace taamr::nn {
+
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override;
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  Param& running_mean() { return running_mean_; }
+  Param& running_var() { return running_var_; }
+  std::int64_t channels() const { return channels_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_;
+  float momentum_;
+  Param gamma_;
+  Param beta_;
+  Param running_mean_;  // trainable=false buffers
+  Param running_var_;
+
+  // forward() caches for backward().
+  bool last_forward_training_ = false;
+  Tensor cached_xhat_;     // normalized input, training mode
+  Tensor cached_invstd_;   // per-channel 1/sqrt(var+eps) used by last forward
+  Shape cached_shape_;
+};
+
+}  // namespace taamr::nn

@@ -1,0 +1,33 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace taamr::nn {
+
+void he_normal(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("he_normal: non-positive fan_in");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (float& v : w.storage()) v = rng.gaussian_f(0.0f, stddev);
+}
+
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) {
+    throw std::invalid_argument("xavier_uniform: non-positive fan");
+  }
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : w.storage()) v = rng.uniform_f(-a, a);
+}
+
+void initialize_network(Layer& root, Rng& rng) {
+  // Weight tensors are identifiable by name and shape: conv/linear weights
+  // are the 2-d params named "weight"; their fan_in is the second dim
+  // (in_features for Linear, C_in*K*K for lowered Conv2d).
+  for (Param* p : root.params()) {
+    if (p->name == "weight" && p->value.ndim() == 2) {
+      he_normal(p->value, p->value.dim(1), rng);
+    }
+  }
+}
+
+}  // namespace taamr::nn

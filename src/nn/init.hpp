@@ -1,0 +1,21 @@
+// Weight initialization. He (Kaiming) for ReLU networks, Xavier/Glorot for
+// linear/sigmoid heads.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace taamr::nn {
+
+// N(0, sqrt(2/fan_in)) — for conv/linear weights feeding ReLU.
+void he_normal(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+// U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out, Rng& rng);
+
+// Walks a layer tree and initializes every Conv2d / Linear weight with He
+// init (fan_in derived from the stored shapes); biases and BN are left at
+// their constructor defaults (0 / identity).
+void initialize_network(Layer& root, Rng& rng);
+
+}  // namespace taamr::nn

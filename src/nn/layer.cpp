@@ -1,0 +1,13 @@
+#include "nn/layer.hpp"
+
+namespace taamr::nn {
+
+std::int64_t count_parameters(Layer& layer) {
+  std::int64_t n = 0;
+  for (Param* p : layer.params()) {
+    if (p->trainable) n += p->value.numel();
+  }
+  return n;
+}
+
+}  // namespace taamr::nn

@@ -1,0 +1,91 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace taamr::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::int64_t>& labels) {
+  if (logits.ndim() != 2) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: expected [N, C] logits");
+  }
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  for (std::int64_t label : labels) {
+    if (label < 0 || label >= c) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+  }
+  probs_ = ops::softmax_rows(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float p = probs_.at(i, labels[static_cast<std::size_t>(i)]);
+    loss -= std::log(std::max(p, 1e-12f));
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (probs_.empty()) {
+    throw std::logic_error("SoftmaxCrossEntropy::backward called before forward");
+  }
+  const std::int64_t n = probs_.dim(0);
+  Tensor grad = probs_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    grad.at(i, labels_[static_cast<std::size_t>(i)]) -= 1.0f;
+  }
+  ops::scale_inplace(grad, 1.0f / static_cast<float>(n));
+  return grad;
+}
+
+float SoftTargetCrossEntropy::forward(const Tensor& logits, const Tensor& targets,
+                                      float temperature) {
+  if (logits.ndim() != 2 || !logits.same_shape(targets)) {
+    throw std::invalid_argument("SoftTargetCrossEntropy: logits/targets must match [N, C]");
+  }
+  if (temperature <= 0.0f) {
+    throw std::invalid_argument("SoftTargetCrossEntropy: non-positive temperature");
+  }
+  temperature_ = temperature;
+  targets_ = targets;
+  probs_ = ops::softmax_rows(ops::scale(logits, 1.0f / temperature));
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float q = targets.at(i, j);
+      if (q > 0.0f) loss -= q * std::log(std::max(probs_.at(i, j), 1e-12f));
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor SoftTargetCrossEntropy::backward() const {
+  if (probs_.empty()) {
+    throw std::logic_error("SoftTargetCrossEntropy::backward called before forward");
+  }
+  Tensor grad = ops::sub(probs_, targets_);
+  ops::scale_inplace(grad, 1.0f / (static_cast<float>(probs_.dim(0)) * temperature_));
+  return grad;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  if (logits.ndim() != 2 || logits.dim(0) != static_cast<std::int64_t>(labels.size())) {
+    throw std::invalid_argument("accuracy: shape/label mismatch");
+  }
+  const std::vector<std::int64_t> pred = ops::argmax_rows(logits);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace taamr::nn

@@ -1,0 +1,50 @@
+// Classification losses. SoftmaxCrossEntropy is used both for training the
+// CNN and — with the *target* class substituted for the true label — as the
+// objective the targeted attacks descend (Eq. 5 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace taamr::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  // logits: [N, C], labels: N class indices. Returns mean loss.
+  float forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+  // Gradient of the mean loss w.r.t. logits: (softmax - onehot) / N.
+  Tensor backward() const;
+
+  // Cached softmax probabilities from the last forward: [N, C].
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<std::int64_t> labels_;
+};
+
+// Cross-entropy against *soft* target distributions at a temperature —
+// the loss of defensive distillation (Papernot et al.): the teacher's
+// tempered probabilities become the student's targets.
+class SoftTargetCrossEntropy {
+ public:
+  // logits: [N, C]; targets: [N, C] rows summing to 1. Returns mean loss
+  // of softmax(logits / temperature) against targets.
+  float forward(const Tensor& logits, const Tensor& targets, float temperature = 1.0f);
+
+  // Gradient w.r.t. logits: (softmax - targets) / (N * T).
+  Tensor backward() const;
+
+ private:
+  Tensor probs_;
+  Tensor targets_;
+  float temperature_ = 1.0f;
+};
+
+// Classification accuracy of logits against labels, in [0, 1].
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace taamr::nn

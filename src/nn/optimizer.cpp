@@ -1,0 +1,25 @@
+#include "nn/optimizer.hpp"
+
+namespace taamr::nn {
+
+void Sgd::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    if (!p->trainable) continue;
+    if (p->momentum.numel() != p->value.numel()) {
+      p->momentum = Tensor(p->value.shape(), 0.0f);
+    }
+    const std::int64_t n = p->value.numel();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* v = p->momentum.data();
+    const float lr = config_.learning_rate;
+    const float mu = config_.momentum;
+    const float wd = config_.weight_decay;
+    for (std::int64_t i = 0; i < n; ++i) {
+      v[i] = mu * v[i] - lr * (g[i] + wd * w[i]);
+      w[i] += v[i];
+    }
+  }
+}
+
+}  // namespace taamr::nn

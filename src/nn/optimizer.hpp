@@ -1,0 +1,31 @@
+// SGD with momentum and decoupled-from-loss L2 weight decay.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace taamr::nn {
+
+struct SgdConfig {
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {}
+
+  // v <- mu*v - lr*(g + wd*w); w <- w + v. Skips non-trainable buffers.
+  void step(const std::vector<Param*>& params);
+
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  SgdConfig config_;
+};
+
+}  // namespace taamr::nn

@@ -1,0 +1,66 @@
+#include "nn/resnet.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm2d.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual_block.hpp"
+
+namespace taamr::nn {
+
+void MiniResNetConfig::validate() const {
+  if (in_channels <= 0 || num_classes <= 1 || base_width <= 0 || blocks_per_stage <= 0) {
+    throw std::invalid_argument("MiniResNetConfig: non-positive field");
+  }
+  // Two stride-2 stages: the input must survive two halvings.
+  if (image_size < 4 || image_size % 4 != 0) {
+    throw std::invalid_argument("MiniResNetConfig: image_size must be a multiple of 4");
+  }
+}
+
+MiniResNet build_mini_resnet(const MiniResNetConfig& config, Rng& rng) {
+  config.validate();
+  MiniResNet model;
+  model.config = config;
+  Sequential& net = model.net;
+
+  const std::int64_t w1 = config.base_width;
+  const std::int64_t w2 = 2 * w1;
+  const std::int64_t w3 = 4 * w1;
+
+  // Stem.
+  net.emplace<Conv2d>(config.in_channels, w1, /*kernel=*/3, /*stride=*/1, /*padding=*/1);
+  net.emplace<BatchNorm2d>(w1);
+  net.emplace<ReLU>();
+
+  // Stage 1 (full resolution).
+  for (std::int64_t b = 0; b < config.blocks_per_stage; ++b) {
+    net.emplace<ResidualBlock>(w1, w1, 1);
+  }
+  // Stage 2 (downsample).
+  net.emplace<ResidualBlock>(w1, w2, 2);
+  for (std::int64_t b = 1; b < config.blocks_per_stage; ++b) {
+    net.emplace<ResidualBlock>(w2, w2, 1);
+  }
+  // Stage 3 (downsample).
+  net.emplace<ResidualBlock>(w2, w3, 2);
+  for (std::int64_t b = 1; b < config.blocks_per_stage; ++b) {
+    net.emplace<ResidualBlock>(w3, w3, 1);
+  }
+
+  // Feature layer e: global average pooling right after the conv part.
+  net.emplace<GlobalAvgPool2d>();
+  model.feature_end = net.size();
+
+  // Classification head.
+  net.emplace<Linear>(w3, config.num_classes);
+
+  initialize_network(net, rng);
+  return model;
+}
+
+}  // namespace taamr::nn

@@ -1,0 +1,38 @@
+// MiniResNet: the repository's stand-in for the paper's ResNet50 feature
+// extractor (see DESIGN.md, substitution #2). A 3-stage residual CNN for
+// small square images; the feature layer *e* is the global-average-pool
+// output right after the convolutional part, exactly as the paper selects.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace taamr::nn {
+
+struct MiniResNetConfig {
+  std::int64_t in_channels = 3;
+  std::int64_t image_size = 32;     // square inputs
+  std::int64_t num_classes = 10;
+  std::int64_t base_width = 16;     // stage widths: W, 2W, 4W
+  std::int64_t blocks_per_stage = 2;
+
+  // Dimension of the feature layer e (= width of the last stage).
+  std::int64_t feature_dim() const { return base_width * 4; }
+
+  void validate() const;
+};
+
+struct MiniResNet {
+  MiniResNetConfig config;
+  Sequential net;
+  // Layers [0, feature_end) produce the feature layer e ([N, feature_dim]);
+  // layers [feature_end, net.size()) are the classification head.
+  std::size_t feature_end = 0;
+};
+
+// Builds and He-initializes the network.
+MiniResNet build_mini_resnet(const MiniResNetConfig& config, Rng& rng);
+
+}  // namespace taamr::nn

@@ -1,0 +1,88 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/io.hpp"
+
+namespace taamr::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x54414d31;  // "TAM1"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_classifier(std::ostream& os, const Classifier& classifier) {
+  // params() is non-const by interface; serialization does not mutate.
+  Classifier& c = const_cast<Classifier&>(classifier);
+  const MiniResNetConfig& cfg = c.config();
+  io::write_magic(os, kMagic, kVersion);
+  io::write_u64(os, static_cast<std::uint64_t>(cfg.in_channels));
+  io::write_u64(os, static_cast<std::uint64_t>(cfg.image_size));
+  io::write_u64(os, static_cast<std::uint64_t>(cfg.num_classes));
+  io::write_u64(os, static_cast<std::uint64_t>(cfg.base_width));
+  io::write_u64(os, static_cast<std::uint64_t>(cfg.blocks_per_stage));
+
+  const auto params = c.network().params();
+  io::write_u64(os, params.size());
+  for (const Param* p : params) {
+    io::write_string(os, p->name);
+    io::write_i64_vector(os, p->value.shape());
+    io::write_f32_vector(os, p->value.storage());
+  }
+}
+
+Classifier load_classifier(std::istream& is) {
+  const std::uint32_t version = io::read_magic(is, kMagic);
+  if (version != kVersion) {
+    throw std::runtime_error("load_classifier: unsupported version " +
+                             std::to_string(version));
+  }
+  MiniResNetConfig cfg;
+  cfg.in_channels = static_cast<std::int64_t>(io::read_u64(is));
+  cfg.image_size = static_cast<std::int64_t>(io::read_u64(is));
+  cfg.num_classes = static_cast<std::int64_t>(io::read_u64(is));
+  cfg.base_width = static_cast<std::int64_t>(io::read_u64(is));
+  cfg.blocks_per_stage = static_cast<std::int64_t>(io::read_u64(is));
+
+  Rng throwaway(0);  // weights are overwritten below
+  Classifier classifier(cfg, throwaway);
+
+  const auto params = classifier.network().params();
+  const std::uint64_t count = io::read_u64(is);
+  if (count != params.size()) {
+    throw std::runtime_error("load_classifier: parameter count mismatch");
+  }
+  for (Param* p : params) {
+    const std::string name = io::read_string(is);
+    const std::vector<std::int64_t> shape = io::read_i64_vector(is);
+    std::vector<float> data = io::read_f32_vector(is);
+    if (name != p->name || Shape(shape) != p->value.shape()) {
+      throw std::runtime_error("load_classifier: parameter layout mismatch at " + p->name);
+    }
+    p->value = Tensor(Shape(shape), std::move(data));
+  }
+  return classifier;
+}
+
+void save_classifier_file(const std::string& path, const Classifier& classifier) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_classifier_file: cannot open " + path);
+  save_classifier(os, classifier);
+}
+
+Classifier load_classifier_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_classifier_file: cannot open " + path);
+  return load_classifier(is);
+}
+
+}  // namespace taamr::nn
+
+namespace taamr::nn {
+
+void Classifier::save(const std::string& path) const { save_classifier_file(path, *this); }
+
+Classifier Classifier::load(const std::string& path) { return load_classifier_file(path); }
+
+}  // namespace taamr::nn

@@ -1,0 +1,18 @@
+// Model checkpointing: MiniResNetConfig + every Param (by position, with
+// shape verification) in a versioned binary container.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/classifier.hpp"
+
+namespace taamr::nn {
+
+void save_classifier(std::ostream& os, const Classifier& classifier);
+Classifier load_classifier(std::istream& is);
+
+void save_classifier_file(const std::string& path, const Classifier& classifier);
+Classifier load_classifier_file(const std::string& path);
+
+}  // namespace taamr::nn

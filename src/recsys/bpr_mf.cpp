@@ -1,0 +1,82 @@
+#include "recsys/bpr_mf.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace taamr::recsys {
+
+namespace {
+inline float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}
+
+BprMf::BprMf(const data::ImplicitDataset& dataset, BprMfConfig config, Rng& rng)
+    : config_(config),
+      user_factors_({dataset.num_users, config.factors}),
+      item_factors_({dataset.num_items, config.factors}),
+      item_bias_({dataset.num_items}),
+      sampler_(dataset) {
+  for (float& v : user_factors_.storage()) v = rng.gaussian_f(0.0f, config.init_stddev);
+  for (float& v : item_factors_.storage()) v = rng.gaussian_f(0.0f, config.init_stddev);
+}
+
+float BprMf::score(std::int64_t user, std::int32_t item) const {
+  const std::int64_t k = config_.factors;
+  const float* p = user_factors_.data() + user * k;
+  const float* q = item_factors_.data() + item * k;
+  float s = item_bias_[item];
+  for (std::int64_t f = 0; f < k; ++f) s += p[f] * q[f];
+  return s;
+}
+
+void BprMf::score_all(std::int64_t user, std::span<float> out) const {
+  if (static_cast<std::int64_t>(out.size()) != num_items()) {
+    throw std::invalid_argument("BprMf::score_all: bad output size");
+  }
+  for (std::int64_t i = 0; i < num_items(); ++i) {
+    out[static_cast<std::size_t>(i)] = score(user, static_cast<std::int32_t>(i));
+  }
+}
+
+float BprMf::train_epoch(const data::ImplicitDataset& dataset, Rng& rng) {
+  const std::int64_t steps = dataset.num_train_feedback();
+  const std::int64_t k = config_.factors;
+  const float lr = config_.learning_rate;
+  const float reg = config_.reg_factors;
+  const float reg_b = config_.reg_bias;
+  double loss_sum = 0.0;
+
+  for (std::int64_t step = 0; step < steps; ++step) {
+    const Triplet t = sampler_.sample(rng);
+    float* p = user_factors_.data() + t.user * k;
+    float* qi = item_factors_.data() + t.pos_item * k;
+    float* qj = item_factors_.data() + t.neg_item * k;
+
+    float x = item_bias_[t.pos_item] - item_bias_[t.neg_item];
+    for (std::int64_t f = 0; f < k; ++f) x += p[f] * (qi[f] - qj[f]);
+    const float g = sigmoid(-x);  // d(-ln sigma(x))/dx = -sigma(-x)
+    loss_sum += -std::log(std::max(sigmoid(x), 1e-12f));
+
+    for (std::int64_t f = 0; f < k; ++f) {
+      const float pu = p[f], qif = qi[f], qjf = qj[f];
+      p[f] += lr * (g * (qif - qjf) - reg * pu);
+      qi[f] += lr * (g * pu - reg * qif);
+      qj[f] += lr * (-g * pu - reg * qjf);
+    }
+    item_bias_[t.pos_item] += lr * (g - reg_b * item_bias_[t.pos_item]);
+    item_bias_[t.neg_item] += lr * (-g - reg_b * item_bias_[t.neg_item]);
+  }
+  return static_cast<float>(loss_sum / static_cast<double>(steps));
+}
+
+void BprMf::fit(const data::ImplicitDataset& dataset, Rng& rng, bool verbose) {
+  for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const float loss = train_epoch(dataset, rng);
+    if (verbose && (epoch + 1) % 20 == 0) {
+      log_info() << "bpr-mf epoch " << (epoch + 1) << "/" << config_.epochs
+                 << " loss=" << loss;
+    }
+  }
+}
+
+}  // namespace taamr::recsys

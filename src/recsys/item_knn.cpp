@@ -1,0 +1,89 @@
+#include "recsys/item_knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace taamr::recsys {
+
+ItemKnn::ItemKnn(const data::ImplicitDataset& dataset, ItemKnnConfig config)
+    : num_users_(dataset.num_users),
+      num_items_(dataset.num_items),
+      dataset_(&dataset),
+      neighbors_(static_cast<std::size_t>(dataset.num_items)) {
+  if (config.neighbors <= 0) {
+    throw std::invalid_argument("ItemKnn: non-positive neighbour count");
+  }
+  // Co-occurrence counts from per-user item lists (each user contributes
+  // |I_u|^2 pairs; cheap for implicit-feedback data).
+  std::vector<std::unordered_map<std::int32_t, float>> co(
+      static_cast<std::size_t>(num_items_));
+  const auto item_counts = dataset.item_train_counts();
+  for (const auto& items : dataset.train) {
+    for (std::size_t a = 0; a < items.size(); ++a) {
+      for (std::size_t b = a + 1; b < items.size(); ++b) {
+        co[static_cast<std::size_t>(items[a])][items[b]] += 1.0f;
+        co[static_cast<std::size_t>(items[b])][items[a]] += 1.0f;
+      }
+    }
+  }
+  // Shrunk cosine: co(i,j) / (sqrt(n_i n_j) + shrinkage) — the shrinkage
+  // keeps one-off co-occurrences of rare items from dominating.
+  for (std::int64_t i = 0; i < num_items_; ++i) {
+    auto& list = neighbors_[static_cast<std::size_t>(i)];
+    list.reserve(co[static_cast<std::size_t>(i)].size());
+    for (const auto& [j, count] : co[static_cast<std::size_t>(i)]) {
+      const float denom =
+          std::sqrt(static_cast<float>(item_counts[static_cast<std::size_t>(i)]) *
+                    static_cast<float>(item_counts[static_cast<std::size_t>(j)])) +
+          config.shrinkage;
+      list.emplace_back(j, count / denom);
+    }
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (static_cast<std::int64_t>(list.size()) > config.neighbors) {
+      list.resize(static_cast<std::size_t>(config.neighbors));
+    }
+  }
+  inverse_.resize(static_cast<std::size_t>(num_items_));
+  for (std::int64_t i = 0; i < num_items_; ++i) {
+    for (const auto& [j, sim] : neighbors_[static_cast<std::size_t>(i)]) {
+      inverse_[static_cast<std::size_t>(j)].emplace_back(static_cast<std::int32_t>(i),
+                                                         sim);
+    }
+  }
+}
+
+const std::vector<std::pair<std::int32_t, float>>& ItemKnn::neighbors(
+    std::int32_t item) const {
+  return neighbors_.at(static_cast<std::size_t>(item));
+}
+
+float ItemKnn::score(std::int64_t user, std::int32_t item) const {
+  // score(u, i) = sum of similarities between i and the user's history.
+  float s = 0.0f;
+  for (const auto& [j, sim] : neighbors_.at(static_cast<std::size_t>(item))) {
+    if (dataset_->user_interacted(user, j)) s += sim;
+  }
+  return s;
+}
+
+void ItemKnn::score_all(std::int64_t user, std::span<float> out) const {
+  if (static_cast<std::int64_t>(out.size()) != num_items_) {
+    throw std::invalid_argument("ItemKnn::score_all: bad output size");
+  }
+  // Scatter over the inverse index from the user's history: a |I_u| * k
+  // pass that is exactly equivalent to calling score() per item (the
+  // top-k truncation is asymmetric, so the inverse lists are required).
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::int32_t seen : dataset_->train[static_cast<std::size_t>(user)]) {
+    for (const auto& [i, sim] : inverse_[static_cast<std::size_t>(seen)]) {
+      out[static_cast<std::size_t>(i)] += sim;
+    }
+  }
+}
+
+}  // namespace taamr::recsys

@@ -1,0 +1,25 @@
+#include "recsys/mostpop.hpp"
+
+#include <stdexcept>
+
+namespace taamr::recsys {
+
+MostPop::MostPop(const data::ImplicitDataset& dataset)
+    : num_users_(dataset.num_users) {
+  const auto counts = dataset.item_train_counts();
+  popularity_.reserve(counts.size());
+  for (std::int64_t c : counts) popularity_.push_back(static_cast<float>(c));
+}
+
+float MostPop::score(std::int64_t /*user*/, std::int32_t item) const {
+  return popularity_.at(static_cast<std::size_t>(item));
+}
+
+void MostPop::score_all(std::int64_t /*user*/, std::span<float> out) const {
+  if (out.size() != popularity_.size()) {
+    throw std::invalid_argument("MostPop::score_all: bad output size");
+  }
+  std::copy(popularity_.begin(), popularity_.end(), out.begin());
+}
+
+}  // namespace taamr::recsys

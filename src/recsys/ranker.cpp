@@ -1,0 +1,65 @@
+#include "recsys/ranker.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace taamr::recsys {
+
+std::vector<std::vector<std::int32_t>> top_n_lists(const Recommender& model,
+                                                   const data::ImplicitDataset& dataset,
+                                                   std::int64_t n, bool exclude_train) {
+  if (n <= 0) throw std::invalid_argument("top_n_lists: non-positive N");
+  if (model.num_users() != dataset.num_users || model.num_items() != dataset.num_items) {
+    throw std::invalid_argument("top_n_lists: model/dataset size mismatch");
+  }
+  const std::int64_t num_items = dataset.num_items;
+  const std::int64_t top = std::min(n, num_items);
+  std::vector<std::vector<std::int32_t>> lists(
+      static_cast<std::size_t>(dataset.num_users));
+
+  parallel_for(0, static_cast<std::size_t>(dataset.num_users), [&](std::size_t u) {
+    std::vector<float> scores(static_cast<std::size_t>(num_items));
+    model.score_all(static_cast<std::int64_t>(u), scores);
+    if (exclude_train) {
+      for (std::int32_t item : dataset.train[u]) {
+        scores[static_cast<std::size_t>(item)] = -std::numeric_limits<float>::infinity();
+      }
+    }
+    std::vector<std::int32_t> idx(static_cast<std::size_t>(num_items));
+    std::iota(idx.begin(), idx.end(), 0);
+    std::partial_sort(idx.begin(), idx.begin() + top, idx.end(),
+                      [&scores](std::int32_t a, std::int32_t b) {
+                        const float sa = scores[static_cast<std::size_t>(a)];
+                        const float sb = scores[static_cast<std::size_t>(b)];
+                        if (sa != sb) return sa > sb;
+                        return a < b;  // deterministic tie-break
+                      });
+    idx.resize(static_cast<std::size_t>(top));
+    lists[u] = std::move(idx);
+  });
+  return lists;
+}
+
+std::int64_t item_rank(const Recommender& model, const data::ImplicitDataset& dataset,
+                       std::int64_t user, std::int32_t item) {
+  if (user < 0 || user >= dataset.num_users || item < 0 || item >= dataset.num_items) {
+    throw std::invalid_argument("item_rank: user/item out of range");
+  }
+  if (dataset.user_interacted(user, item)) return -1;
+  std::vector<float> scores(static_cast<std::size_t>(dataset.num_items));
+  model.score_all(user, scores);
+  const float target = scores[static_cast<std::size_t>(item)];
+  std::int64_t rank = 1;
+  for (std::int64_t i = 0; i < dataset.num_items; ++i) {
+    if (i == item || dataset.user_interacted(user, static_cast<std::int32_t>(i))) continue;
+    const float s = scores[static_cast<std::size_t>(i)];
+    if (s > target || (s == target && i < item)) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace taamr::recsys

@@ -1,0 +1,25 @@
+// Top-N recommendation lists (the "Preference Sorting" stage of Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "recsys/recommender.hpp"
+
+namespace taamr::recsys {
+
+// Per-user top-N item lists, best first. Training items are excluded when
+// exclude_train is set (the usual evaluation protocol; the CHR definition
+// sums over I_c \ I_u^+, which this implements).
+std::vector<std::vector<std::int32_t>> top_n_lists(const Recommender& model,
+                                                   const data::ImplicitDataset& dataset,
+                                                   std::int64_t n,
+                                                   bool exclude_train = true);
+
+// 1-based rank of `item` in user's full ranking (training items excluded),
+// i.e. the "rec. position" reported in the paper's Fig. 2. Returns -1 when
+// the item is in the user's training set.
+std::int64_t item_rank(const Recommender& model, const data::ImplicitDataset& dataset,
+                       std::int64_t user, std::int32_t item);
+
+}  // namespace taamr::recsys

@@ -1,0 +1,7 @@
+#include "recsys/recommender.hpp"
+
+namespace taamr::recsys {
+
+Recommender::~Recommender() = default;
+
+}  // namespace taamr::recsys

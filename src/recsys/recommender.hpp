@@ -1,0 +1,30 @@
+// Recommender interface: the preference predictor of Fig. 1. Everything the
+// metrics and the ranker need is a per-user score over all items.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "data/interactions.hpp"
+
+namespace taamr::recsys {
+
+class Recommender {
+ public:
+  virtual ~Recommender();
+
+  virtual std::int64_t num_users() const = 0;
+  virtual std::int64_t num_items() const = 0;
+
+  // Predicted preference of `user` for `item` (higher = better).
+  virtual float score(std::int64_t user, std::int32_t item) const = 0;
+
+  // Scores for every item; out.size() must equal num_items(). This is the
+  // fast path used by the ranker (amortizes per-user work).
+  virtual void score_all(std::int64_t user, std::span<float> out) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace taamr::recsys

@@ -1,0 +1,32 @@
+#include "recsys/sampler.hpp"
+
+#include <stdexcept>
+
+namespace taamr::recsys {
+
+TripletSampler::TripletSampler(const data::ImplicitDataset& dataset) : dataset_(dataset) {
+  for (std::int64_t u = 0; u < dataset.num_users; ++u) {
+    if (!dataset.train[static_cast<std::size_t>(u)].empty()) eligible_users_.push_back(u);
+  }
+  if (eligible_users_.empty()) {
+    throw std::invalid_argument("TripletSampler: no users with training interactions");
+  }
+  if (dataset.num_items < 2) {
+    throw std::invalid_argument("TripletSampler: need at least 2 items");
+  }
+}
+
+Triplet TripletSampler::sample(Rng& rng) const {
+  const std::int64_t user = eligible_users_[rng.index(eligible_users_.size())];
+  const auto& pos_items = dataset_.train[static_cast<std::size_t>(user)];
+  const std::int32_t pos = pos_items[rng.index(pos_items.size())];
+  // Rejection sampling of the negative; the interaction matrix is sparse,
+  // so this terminates almost immediately.
+  std::int32_t neg;
+  do {
+    neg = static_cast<std::int32_t>(rng.index(static_cast<std::size_t>(dataset_.num_items)));
+  } while (dataset_.user_interacted(user, neg));
+  return Triplet{user, pos, neg};
+}
+
+}  // namespace taamr::recsys

@@ -1,0 +1,31 @@
+// BPR triplet sampling: (u, i, j) with i an interacted and j a
+// not-interacted item of user u (Rendle et al., UAI 2009).
+#pragma once
+
+#include <cstdint>
+
+#include "data/interactions.hpp"
+#include "util/rng.hpp"
+
+namespace taamr::recsys {
+
+struct Triplet {
+  std::int64_t user;
+  std::int32_t pos_item;
+  std::int32_t neg_item;
+};
+
+class TripletSampler {
+ public:
+  explicit TripletSampler(const data::ImplicitDataset& dataset);
+
+  // Uniform user (among users with >= 1 training item), uniform positive,
+  // rejection-sampled uniform negative.
+  Triplet sample(Rng& rng) const;
+
+ private:
+  const data::ImplicitDataset& dataset_;
+  std::vector<std::int64_t> eligible_users_;
+};
+
+}  // namespace taamr::recsys

@@ -1,0 +1,16 @@
+// Training-time evaluation helpers: sampled AUC on the leave-one-out split
+// (the standard convergence check for BPR-family models).
+#pragma once
+
+#include "recsys/recommender.hpp"
+#include "util/rng.hpp"
+
+namespace taamr::recsys {
+
+// For each user with a test item, compares its score to `negatives_per_user`
+// sampled non-interacted items. Returns the fraction of comparisons won
+// (0.5 = random, 1.0 = perfect).
+double sampled_auc(const Recommender& model, const data::ImplicitDataset& dataset,
+                   Rng& rng, std::int64_t negatives_per_user = 50);
+
+}  // namespace taamr::recsys

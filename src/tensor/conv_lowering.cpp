@@ -1,0 +1,90 @@
+#include "tensor/conv_lowering.hpp"
+
+#include <stdexcept>
+
+namespace taamr::conv {
+
+void ConvGeometry::validate() const {
+  if (in_channels <= 0 || in_h <= 0 || in_w <= 0) {
+    throw std::invalid_argument("ConvGeometry: non-positive input dims");
+  }
+  if (kernel <= 0 || stride <= 0 || padding < 0) {
+    throw std::invalid_argument("ConvGeometry: bad kernel/stride/padding");
+  }
+  if (in_h + 2 * padding < kernel || in_w + 2 * padding < kernel) {
+    throw std::invalid_argument("ConvGeometry: kernel larger than padded input");
+  }
+}
+
+Tensor im2col(const Tensor& image, const ConvGeometry& g) {
+  g.validate();
+  if (image.ndim() != 3 || image.dim(0) != g.in_channels || image.dim(1) != g.in_h ||
+      image.dim(2) != g.in_w) {
+    throw std::invalid_argument("im2col: image shape " + shape_to_string(image.shape()) +
+                                " does not match geometry");
+  }
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), k = g.kernel;
+  Tensor cols({g.patch_rows(), g.patch_cols()});
+  float* out = cols.data();
+  const float* img = image.data();
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = img + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < k; ++ky) {
+      for (std::int64_t kx = 0; kx < k; ++kx, ++row) {
+        float* dst = out + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride + ky - g.padding;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) dst[oy * ow + ox] = 0.0f;
+            continue;
+          }
+          const float* src_row = plane + iy * g.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride + kx - g.padding;
+            dst[oy * ow + ox] =
+                (ix >= 0 && ix < g.in_w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& columns, const ConvGeometry& g) {
+  g.validate();
+  if (columns.ndim() != 2 || columns.dim(0) != g.patch_rows() ||
+      columns.dim(1) != g.patch_cols()) {
+    throw std::invalid_argument("col2im: columns shape " +
+                                shape_to_string(columns.shape()) +
+                                " does not match geometry");
+  }
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), k = g.kernel;
+  Tensor image({g.in_channels, g.in_h, g.in_w});
+  float* img = image.data();
+  const float* cols = columns.data();
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    float* plane = img + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < k; ++ky) {
+      for (std::int64_t kx = 0; kx < k; ++kx, ++row) {
+        const float* src = cols + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride + ky - g.padding;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst_row = plane + iy * g.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride + kx - g.padding;
+            if (ix >= 0 && ix < g.in_w) dst_row[ix] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace taamr::conv

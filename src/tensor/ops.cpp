@@ -1,0 +1,308 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace taamr::ops {
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  add_inplace(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  sub_inplace(out, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a;
+  float* o = out.data();
+  const float* p = b.data();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] *= p[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  scale_inplace(out, s);
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  for (float& v : out.storage()) v += s;
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  float* o = a.data();
+  const float* p = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] += p[i];
+}
+
+void sub_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub_inplace");
+  float* o = a.data();
+  const float* p = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] -= p[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (float& v : a.storage()) v *= s;
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  check_same_shape(a, b, "axpy_inplace");
+  float* o = a.data();
+  const float* p = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] += s * p[i];
+}
+
+Tensor apply(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out = a;
+  apply_inplace(out, f);
+  return out;
+}
+
+void apply_inplace(Tensor& a, const std::function<float(float)>& f) {
+  for (float& v : a.storage()) v = f(v);
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  Tensor out = a;
+  clamp_inplace(out, lo, hi);
+  return out;
+}
+
+void clamp_inplace(Tensor& a, float lo, float hi) {
+  if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
+  for (float& v : a.storage()) v = std::clamp(v, lo, hi);
+}
+
+Tensor sign(const Tensor& a) {
+  Tensor out = a;
+  for (float& v : out.storage()) v = (v > 0.0f) - (v < 0.0f);
+  return out;
+}
+
+namespace {
+
+void require_matrix(const Tensor& t, const char* name) {
+  if (t.ndim() != 2) {
+    throw std::invalid_argument(std::string("matmul: ") + name + " must be 2-d, got " +
+                                shape_to_string(t.shape()));
+  }
+}
+
+// Inner kernel: C[m,n] += A[m,k] * B[k,n], all plain row-major, i-k-j loop
+// order so the innermost loop streams both B and C rows.
+void gemm_nn(float* c, const float* a, const float* b, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::int64_t i1 = std::min(m, i0 + kBlock);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlock) {
+      const std::int64_t p1 = std::min(k, p0 + kBlock);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n;
+        const float* arow = a + i * k;
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b + p * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+Tensor transposed(const Tensor& t) {
+  const std::int64_t r = t.dim(0), c = t.dim(1);
+  Tensor out({c, r});
+  for (std::int64_t i = 0; i < r; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) out.at(j, i) = t.at(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+void matmul_accumulate(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+                       bool trans_b) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  require_matrix(c, "C");
+  // Normalize to the NN case. Transposing the (smaller) operand up front is
+  // cheaper and simpler than four kernel variants at our sizes.
+  const Tensor& an = trans_a ? transposed(a) : a;
+  const Tensor& bn = trans_b ? transposed(b) : b;
+  const std::int64_t m = an.dim(0), k = an.dim(1), k2 = bn.dim(0), n = bn.dim(1);
+  if (k != k2) {
+    throw std::invalid_argument("matmul: inner dimensions differ: " +
+                                shape_to_string(an.shape()) + " x " +
+                                shape_to_string(bn.shape()));
+  }
+  if (c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("matmul_accumulate: C has shape " +
+                                shape_to_string(c.shape()) + ", expected [" +
+                                std::to_string(m) + ", " + std::to_string(n) + "]");
+  }
+  gemm_nn(c.data(), an.data(), bn.data(), m, k, n);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  Tensor c({m, n});
+  matmul_accumulate(c, a, b, trans_a, trans_b);
+  return c;
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  require_matrix(a, "A");
+  if (x.ndim() != 1 || x.dim(0) != a.dim(1)) {
+    throw std::invalid_argument("matvec: incompatible shapes " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(x.shape()));
+  }
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor y({m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;  // accumulate in double: these sums feed loss reporting
+  for (float v : a.flat()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("mean: empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (float v : a.flat()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float min(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("min: empty tensor");
+  float m = std::numeric_limits<float>::infinity();
+  for (float v : a.flat()) m = std::min(m, v);
+  return m;
+}
+
+float max(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("max: empty tensor");
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : a.flat()) m = std::max(m, v);
+  return m;
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "dot");
+  double acc = 0.0;
+  const float* p = a.data();
+  const float* q = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(p[i]) * q[i];
+  return static_cast<float>(acc);
+}
+
+float l2_norm(const Tensor& a) { return std::sqrt(std::max(0.0f, dot(a, a))); }
+
+float squared_distance(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "squared_distance");
+  double acc = 0.0;
+  const float* p = a.data();
+  const float* q = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(p[i]) - q[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+float linf_distance(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "linf_distance");
+  float m = 0.0f;
+  const float* p = a.data();
+  const float* q = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(p[i] - q[i]));
+  return m;
+}
+
+std::int64_t argmax(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("argmax: empty tensor");
+  std::int64_t best = 0;
+  float best_v = a[0];
+  for (std::int64_t i = 1; i < a.numel(); ++i) {
+    if (a[i] > best_v) {
+      best_v = a[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  if (a.ndim() != 2) throw std::invalid_argument("argmax_rows: expected matrix");
+  const std::int64_t rows = a.dim(0), cols = a.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* row = a.data() + i * cols;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < cols; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.ndim() != 2) throw std::invalid_argument("softmax_rows: expected matrix");
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out = logits;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float* row = out.data() + i * cols;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+}  // namespace taamr::ops

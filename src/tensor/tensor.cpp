@@ -1,0 +1,80 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace taamr {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("shape_numel: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_numel(shape_) != static_cast<std::int64_t>(data_.size())) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_to_string(shape_));
+  }
+}
+
+Tensor& Tensor::reshape(Shape new_shape) {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshape: cannot reshape " + shape_to_string(shape_) +
+                                " to " + shape_to_string(new_shape));
+  }
+  shape_ = std::move(new_shape);
+  return *this;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor copy = *this;
+  copy.reshape(std::move(new_shape));
+  return copy;
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+std::string Tensor::to_string(std::int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+
+}  // namespace taamr

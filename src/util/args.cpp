@@ -1,0 +1,93 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+namespace taamr {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(token));
+      continue;
+    }
+    token = token.substr(2);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      flags_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" when a value follows, else a boolean switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[token] = argv[++i];
+    } else {
+      flags_[token] = "true";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it != flags_.end()) read_[name] = true;
+  return it != flags_.end();
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("missing required flag --" + name);
+  }
+  read_[name] = true;
+  return it->second;
+}
+
+std::string ArgParser::get(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  read_[name] = true;
+  return it->second;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  read_[name] = true;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::int64_t ArgParser::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  read_[name] = true;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+bool ArgParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  read_[name] = true;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (!read_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace taamr

@@ -1,0 +1,33 @@
+// Tiny command-line flag parser for the CLI tool and ad-hoc binaries.
+// Syntax: --name value (or --name=value); bare tokens are positionals.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace taamr {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  // Throw std::invalid_argument when the flag is absent (no default given).
+  std::string get(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  // Flags that were provided but never read — typo detection for the CLI.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace taamr

@@ -1,0 +1,101 @@
+#include "util/io.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace taamr::io {
+
+namespace {
+template <typename T>
+void write_pod(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  if (!os) throw std::runtime_error("io: write failed");
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("io: unexpected end of stream");
+  return v;
+}
+}  // namespace
+
+void write_u32(std::ostream& os, std::uint32_t v) { write_pod(os, v); }
+void write_u64(std::ostream& os, std::uint64_t v) { write_pod(os, v); }
+void write_f32(std::ostream& os, float v) { write_pod(os, v); }
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!os) throw std::runtime_error("io: write failed");
+}
+
+void write_f32_vector(std::ostream& os, const std::vector<float>& v) {
+  write_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+  if (!os) throw std::runtime_error("io: write failed");
+}
+
+void write_i64_vector(std::ostream& os, const std::vector<std::int64_t>& v) {
+  write_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(std::int64_t)));
+  if (!os) throw std::runtime_error("io: write failed");
+}
+
+std::uint32_t read_u32(std::istream& is) { return read_pod<std::uint32_t>(is); }
+std::uint64_t read_u64(std::istream& is) { return read_pod<std::uint64_t>(is); }
+float read_f32(std::istream& is) { return read_pod<float>(is); }
+
+namespace {
+constexpr std::uint64_t kMaxLength = 1ULL << 34;  // 16 GiB sanity bound
+
+std::uint64_t read_length(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  if (n > kMaxLength) throw std::runtime_error("io: implausible length (corrupt stream?)");
+  return n;
+}
+}  // namespace
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_length(is);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("io: unexpected end of stream");
+  return s;
+}
+
+std::vector<float> read_f32_vector(std::istream& is) {
+  const std::uint64_t n = read_length(is);
+  std::vector<float> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is) throw std::runtime_error("io: unexpected end of stream");
+  return v;
+}
+
+std::vector<std::int64_t> read_i64_vector(std::istream& is) {
+  const std::uint64_t n = read_length(is);
+  std::vector<std::int64_t> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(std::int64_t)));
+  if (!is) throw std::runtime_error("io: unexpected end of stream");
+  return v;
+}
+
+void write_magic(std::ostream& os, std::uint32_t magic, std::uint32_t version) {
+  write_u32(os, magic);
+  write_u32(os, version);
+}
+
+std::uint32_t read_magic(std::istream& is, std::uint32_t expected_magic) {
+  const std::uint32_t magic = read_u32(is);
+  if (magic != expected_magic) {
+    throw std::runtime_error("io: bad magic number, not a taamr file of the expected kind");
+  }
+  return read_u32(is);
+}
+
+}  // namespace taamr::io

@@ -1,0 +1,33 @@
+// Binary (de)serialization primitives used for model checkpoints and
+// cached feature stores. Format: little-endian PODs, length-prefixed
+// vectors and strings, an explicit magic + version per top-level file.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace taamr::io {
+
+void write_u32(std::ostream& os, std::uint32_t v);
+void write_u64(std::ostream& os, std::uint64_t v);
+void write_f32(std::ostream& os, float v);
+void write_string(std::ostream& os, const std::string& s);
+void write_f32_vector(std::ostream& os, const std::vector<float>& v);
+void write_i64_vector(std::ostream& os, const std::vector<std::int64_t>& v);
+
+std::uint32_t read_u32(std::istream& is);
+std::uint64_t read_u64(std::istream& is);
+float read_f32(std::istream& is);
+std::string read_string(std::istream& is);
+std::vector<float> read_f32_vector(std::istream& is);
+std::vector<std::int64_t> read_i64_vector(std::istream& is);
+
+// Throws std::runtime_error with a descriptive message on magic mismatch.
+void write_magic(std::ostream& os, std::uint32_t magic, std::uint32_t version);
+std::uint32_t read_magic(std::istream& is, std::uint32_t expected_magic);
+
+}  // namespace taamr::io

@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace taamr {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%9.3fs %s] %.*s\n", elapsed, level_tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace taamr

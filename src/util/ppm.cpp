@@ -1,0 +1,39 @@
+#include "util/ppm.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace taamr {
+
+void write_ppm(const std::string& path, const Tensor& image, int upscale) {
+  if (image.ndim() != 3 || image.dim(0) != 3) {
+    throw std::invalid_argument("write_ppm: expected [3, H, W] image");
+  }
+  if (upscale < 1) throw std::invalid_argument("write_ppm: upscale must be >= 1");
+  const std::int64_t h = image.dim(1), w = image.dim(2);
+  const std::int64_t out_h = h * upscale, out_w = w * upscale;
+
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_ppm: cannot open " + path);
+  os << "P6\n" << out_w << " " << out_h << "\n255\n";
+
+  std::vector<unsigned char> row(static_cast<std::size_t>(out_w) * 3);
+  for (std::int64_t y = 0; y < out_h; ++y) {
+    const std::int64_t sy = y / upscale;
+    for (std::int64_t x = 0; x < out_w; ++x) {
+      const std::int64_t sx = x / upscale;
+      for (int c = 0; c < 3; ++c) {
+        const float v = std::clamp(image.at(c, sy, sx), 0.0f, 1.0f);
+        row[static_cast<std::size_t>(x) * 3 + static_cast<std::size_t>(c)] =
+            static_cast<unsigned char>(v * 255.0f + 0.5f);
+      }
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+  if (!os) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+}  // namespace taamr

@@ -1,0 +1,17 @@
+// Minimal binary PPM (P6) writer so product images — clean and attacked —
+// can actually be looked at (the paper's Fig. 2 side-by-side).
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace taamr {
+
+// image: [3, H, W] with values in [0, 1]; out-of-range values are clamped.
+// upscale replicates each pixel into an upscale x upscale block (nearest
+// neighbour) so 32x32 products are viewable. Throws std::runtime_error on
+// I/O failure.
+void write_ppm(const std::string& path, const Tensor& image, int upscale = 1);
+
+}  // namespace taamr

@@ -1,0 +1,80 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace taamr {
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("categorical: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("categorical: zero total weight");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical fallthrough
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // Robert Floyd's algorithm; keeps a small sorted membership check via
+  // linear scan — k is small everywhere we use this.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = index(j + 1);
+    bool present = false;
+    for (std::size_t v : out) {
+      if (v == t) {
+        present = true;
+        break;
+      }
+    }
+    out.push_back(present ? j : t);
+  }
+  return out;
+}
+
+void AliasTable::build(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("AliasTable: zero total weight");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+}  // namespace taamr

@@ -1,0 +1,155 @@
+// Deterministic, fast pseudo-random number generation for the whole project.
+//
+// Every stochastic component (dataset synthesis, weight init, triplet
+// sampling, PGD random start, ...) takes an explicit Rng so that runs are
+// reproducible from a single seed and components can be re-seeded
+// independently (see Rng::fork).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace taamr {
+
+// SplitMix64: used to expand a single 64-bit seed into a full generator
+// state. Recommended seeding procedure for the xoshiro family.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna: small state, excellent statistical
+// quality, much faster than std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    cached_gaussian_valid_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Derive an independent generator; `stream` distinguishes siblings.
+  Rng fork(std::uint64_t stream) {
+    std::uint64_t mix = next_u64() ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng(mix);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  float uniform_f() { return static_cast<float>(uniform()); }
+  float uniform_f(float lo, float hi) { return static_cast<float>(uniform(lo, hi)); }
+
+  // Uniform integer in [0, n). n must be > 0. Uses Lemire's method.
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    // Rejection-free for practical purposes; bias < 2^-64 * n.
+    unsigned __int128 m = static_cast<unsigned __int128>(next_u64()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  int uniform_int(int lo, int hi_exclusive) {
+    return lo + static_cast<int>(uniform_u64(
+                    static_cast<std::uint64_t>(hi_exclusive - lo)));
+  }
+
+  std::size_t index(std::size_t n) { return static_cast<std::size_t>(uniform_u64(n)); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Standard normal via Marsaglia polar method with caching.
+  double gaussian() {
+    if (cached_gaussian_valid_) {
+      cached_gaussian_valid_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * mul;
+    cached_gaussian_valid_ = true;
+    return u * mul;
+  }
+
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+  float gaussian_f(float mean, float stddev) {
+    return static_cast<float>(gaussian(mean, stddev));
+  }
+
+  // Sample an index from unnormalized non-negative weights (linear scan;
+  // use AliasTable for repeated draws from the same distribution).
+  std::size_t categorical(std::span<const double> weights);
+
+  // Fisher-Yates in-place shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // k distinct indices drawn uniformly from [0, n) (k <= n). Floyd's
+  // algorithm: O(k) expected, no O(n) allocation.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gaussian_ = 0.0;
+  bool cached_gaussian_valid_ = false;
+};
+
+// Walker alias method: O(1) sampling from a fixed discrete distribution.
+// Used for popularity-skewed category and item sampling in the dataset
+// generator, where millions of draws come from the same weights.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> weights) { build(weights); }
+
+  void build(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const {
+    const std::size_t i = rng.index(prob_.size());
+    return rng.uniform() < prob_[i] ? i : alias_[i];
+  }
+
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace taamr

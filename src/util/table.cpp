@@ -1,0 +1,98 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace taamr {
+
+Table& Table::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (!header_.empty() && cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::row: cell count does not match header");
+  }
+  rows_.push_back(Row{std::move(cells), false});
+  return *this;
+}
+
+Table& Table::separator() {
+  rows_.push_back(Row{{}, true});
+  return *this;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const Row& r : rows_) {
+    if (!r.is_separator) widen(r.cells);
+  }
+
+  auto rule = [&widths]() {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&widths](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      s += " " + c + std::string(widths[i] - c.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  for (const Row& r : rows_) {
+    out += r.is_separator ? rule() : line(r.cells);
+  }
+  out += rule();
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::count(long long n) {
+  std::string digits = std::to_string(n < 0 ? -n : n);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  if (n < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace taamr

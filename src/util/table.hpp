@@ -1,0 +1,44 @@
+// ASCII table rendering for bench binaries: the harness prints the same
+// rows/columns the paper's tables report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace taamr {
+
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> columns);
+  Table& row(std::vector<std::string> cells);
+
+  // Horizontal separator between logical row groups.
+  Table& separator();
+
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Formats a double with fixed precision, e.g. fmt(3.14159, 3) == "3.142".
+  static std::string fmt(double value, int precision = 3);
+  // Formats a fraction as a percentage, e.g. pct(0.9932) == "99.32%".
+  static std::string pct(double fraction, int precision = 2);
+  // Thousands separator for counts, e.g. count(193365) == "193,365".
+  static std::string count(long long n);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace taamr

@@ -1,0 +1,54 @@
+// Fixed-size worker pool with a blocking parallel_for. Used to parallelize
+// the hot loops of the CNN (im2col GEMM batches, per-image attacks) without
+// taking a dependency on OpenMP.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace taamr {
+
+class ThreadPool {
+ public:
+  // 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs body(i) for i in [begin, end), blocking until all iterations are
+  // done. Iterations are chunked; body must be safe to run concurrently
+  // for distinct i. Exceptions in body terminate (keep bodies noexcept in
+  // spirit).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  // Process-wide shared pool.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience wrapper over the global pool. Falls back to serial execution
+// for small ranges where task overhead would dominate.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t serial_threshold = 2);
+
+}  // namespace taamr

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+using testing::check_input_gradient;
+using testing::fill_uniform;
+
+TEST(ReLU, ForwardClampsNegatives) {
+  nn::ReLU relu;
+  Tensor x({4}, std::vector<float>{-1, 0, 0.5f, 2});
+  const Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 0.5f);
+  EXPECT_EQ(y[3], 2.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  nn::ReLU relu;
+  Tensor x({3}, std::vector<float>{-1, 1, 2});
+  relu.forward(x, true);
+  const Tensor g = relu.backward(Tensor({3}, std::vector<float>{5, 5, 5}));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 5.0f);
+  EXPECT_EQ(g[2], 5.0f);
+}
+
+TEST(ReLU, GradientCheckAwayFromKink) {
+  Rng rng(31);
+  nn::ReLU relu;
+  Tensor x({2, 5});
+  // Keep inputs away from 0 so the finite difference is valid.
+  for (float& v : x.storage()) {
+    v = rng.uniform_f(0.2f, 1.0f) * (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+  }
+  check_input_gradient(relu, x, rng);
+}
+
+TEST(LeakyReLU, ForwardAppliesSlope) {
+  nn::LeakyReLU leaky(0.1f);
+  Tensor x({2}, std::vector<float>{-2, 3});
+  const Tensor y = leaky.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+}
+
+TEST(LeakyReLU, GradientCheck) {
+  Rng rng(32);
+  nn::LeakyReLU leaky(0.05f);
+  Tensor x({3, 3});
+  for (float& v : x.storage()) {
+    v = rng.uniform_f(0.2f, 1.0f) * (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+  }
+  check_input_gradient(leaky, x, rng);
+}
+
+TEST(Sigmoid, ForwardValues) {
+  nn::Sigmoid sig;
+  Tensor x({3}, std::vector<float>{0, 100, -100});
+  const Tensor y = sig.forward(x, true);
+  EXPECT_NEAR(y[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6f);
+}
+
+TEST(Sigmoid, GradientCheck) {
+  Rng rng(33);
+  nn::Sigmoid sig;
+  Tensor x({2, 4});
+  fill_uniform(x, rng, -2.0f, 2.0f);
+  check_input_gradient(sig, x, rng);
+}
+
+TEST(Activations, BackwardShapeChecked) {
+  nn::ReLU relu;
+  relu.forward(Tensor({2, 2}), true);
+  EXPECT_THROW(relu.backward(Tensor({2, 3})), std::invalid_argument);
+}
+
+TEST(Activations, HaveNoParams) {
+  nn::ReLU relu;
+  nn::LeakyReLU leaky;
+  nn::Sigmoid sig;
+  EXPECT_TRUE(relu.params().empty());
+  EXPECT_TRUE(leaky.params().empty());
+  EXPECT_TRUE(sig.params().empty());
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace taamr {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, SpaceAndEqualsSyntax) {
+  const auto args = parse({"--alpha", "3", "--beta=hello"});
+  EXPECT_EQ(args.get("alpha"), "3");
+  EXPECT_EQ(args.get("beta"), "hello");
+}
+
+TEST(ArgParser, BooleanSwitches) {
+  const auto args = parse({"--verbose", "--flag=false"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("flag", true));
+  EXPECT_TRUE(args.get_bool("absent", true));
+  EXPECT_THROW(parse({"--bad=maybe"}).get_bool("bad", false), std::invalid_argument);
+}
+
+TEST(ArgParser, NumericConversions) {
+  const auto args = parse({"--scale", "0.025", "--count", "42"});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.025);
+  EXPECT_EQ(args.get_int("count", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("absent", 7.5), 7.5);
+  EXPECT_THROW(parse({"--n=abc"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(parse({"--x=abc"}).get_double("x", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, RequiredFlagThrowsWhenAbsent) {
+  const auto args = parse({"--present", "1"});
+  EXPECT_NO_THROW(args.get("present"));
+  EXPECT_THROW(args.get("missing"), std::invalid_argument);
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+}
+
+TEST(ArgParser, Positionals) {
+  const auto args = parse({"run", "--flag", "v", "extra"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "run");
+  EXPECT_EQ(args.positionals()[1], "extra");
+}
+
+TEST(ArgParser, ValuesWithSpacesViaSeparateToken) {
+  const auto args = parse({"--dataset", "Amazon Men"});
+  EXPECT_EQ(args.get("dataset"), "Amazon Men");
+}
+
+TEST(ArgParser, UnusedFlagsAreReported) {
+  const auto args = parse({"--used", "1", "--typo", "2"});
+  (void)args.get("used");
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ArgParser, HasMarksFlagAsRead) {
+  const auto args = parse({"--checked", "yes"});
+  EXPECT_TRUE(args.has("checked"));
+  EXPECT_FALSE(args.has("other"));
+  EXPECT_TRUE(args.unused().empty());
+}
+
+TEST(ArgParser, LastOccurrenceWins) {
+  const auto args = parse({"--x", "1", "--x", "2"});
+  EXPECT_EQ(args.get("x"), "2");
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,217 @@
+// Tests of the extension attacks/defenses (MIM, feature matching,
+// adversarial training) — the paper's future-work directions.
+#include <gtest/gtest.h>
+
+#include "attack/adversarial_training.hpp"
+#include "attack/feature_match.hpp"
+#include "attack/fgsm.hpp"
+#include "attack/mim.hpp"
+#include "metrics/success.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+nn::MiniResNetConfig tiny_config() {
+  nn::MiniResNetConfig cfg;
+  cfg.image_size = 8;
+  cfg.base_width = 4;
+  cfg.blocks_per_stage = 1;
+  cfg.num_classes = 3;
+  return cfg;
+}
+
+void make_task(Tensor& images, std::vector<std::int64_t>& labels, std::int64_t n,
+               Rng& rng) {
+  images = Tensor({n, 3, 8, 8});
+  labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t label = i % 3;
+    labels[static_cast<std::size_t>(i)] = label;
+    const float base = 0.2f + 0.3f * static_cast<float>(label);
+    for (std::int64_t j = 0; j < 192; ++j) {
+      images[i * 192 + j] =
+          std::clamp(base + rng.gaussian_f(0.0f, 0.05f), 0.0f, 1.0f);
+    }
+  }
+}
+
+nn::Classifier& trained_classifier() {
+  static nn::Classifier classifier = [] {
+    Rng rng(201);
+    nn::Classifier c(tiny_config(), rng);
+    Tensor images;
+    std::vector<std::int64_t> labels;
+    make_task(images, labels, 90, rng);
+    nn::SgdConfig sgd;
+    sgd.learning_rate = 0.05f;
+    c.fit(images, labels, 6, 16, sgd, rng, false);
+    return c;
+  }();
+  return classifier;
+}
+
+TEST(Mim, RespectsLinfBoundAndRange) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(202);
+  Tensor x({4, 3, 8, 8});
+  testing::fill_uniform(x, rng, 0.2f, 0.8f);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(8.0f);
+  attack::Mim mim(cfg);
+  Rng arng(203);
+  const Tensor adv = mim.perturb(c, x, {0, 1, 2, 0}, arng);
+  EXPECT_LE(ops::linf_distance(adv, x), cfg.epsilon + 1e-5f);
+  EXPECT_GE(ops::min(adv), 0.0f);
+  EXPECT_LE(ops::max(adv), 1.0f);
+  EXPECT_EQ(mim.name(), "MIM");
+}
+
+TEST(Mim, TargetedLowersTargetLoss) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(204);
+  Tensor x({6, 3, 8, 8});
+  for (float& v : x.storage()) v = std::clamp(0.2f + rng.gaussian_f(0.0f, 0.05f), 0.0f, 1.0f);
+  const std::vector<std::int64_t> targets(6, 1);
+  float before = 0.0f, after = 0.0f;
+  c.loss_input_gradient(x, targets, &before);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(32.0f);
+  attack::Mim mim(cfg);
+  Rng arng(205);
+  const Tensor adv = mim.perturb(c, x, targets, arng);
+  c.loss_input_gradient(adv, targets, &after);
+  EXPECT_LT(after, before);
+}
+
+TEST(Mim, AtLeastAsStrongAsFgsmOnReachableTarget) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(206);
+  Tensor x({10, 3, 8, 8});
+  for (float& v : x.storage()) v = std::clamp(0.2f + rng.gaussian_f(0.0f, 0.05f), 0.0f, 1.0f);
+  const std::vector<std::int64_t> targets(10, 1);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(48.0f);
+  attack::Fgsm fgsm(cfg);
+  attack::Mim mim(cfg);
+  Rng r1(207), r2(208);
+  const double s_fgsm =
+      metrics::attack_success(c, fgsm.perturb(c, x, targets, r1), 1).success_rate;
+  const double s_mim =
+      metrics::attack_success(c, mim.perturb(c, x, targets, r2), 1).success_rate;
+  EXPECT_GE(s_mim, s_fgsm);
+}
+
+TEST(FeatureMatch, ReducesFeatureDistance) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(209);
+  Tensor x({3, 3, 8, 8});
+  testing::fill_uniform(x, rng, 0.2f, 0.8f);
+  Tensor reference({3, 3, 8, 8});
+  testing::fill_uniform(reference, rng, 0.2f, 0.8f);
+  const Tensor target_features = c.features(reference);
+
+  float before = 0.0f, after = 0.0f;
+  c.feature_input_gradient(x, target_features, &before);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(16.0f);
+  attack::FeatureMatch fm(cfg);
+  Rng arng(210);
+  const Tensor adv = fm.perturb(c, x, target_features, arng);
+  c.feature_input_gradient(adv, target_features, &after);
+  EXPECT_LT(after, before);
+  EXPECT_LE(ops::linf_distance(adv, x), cfg.epsilon + 1e-5f);
+}
+
+TEST(FeatureMatch, ValidatesShapes) {
+  nn::Classifier& c = trained_classifier();
+  attack::AttackConfig cfg;
+  attack::FeatureMatch fm(cfg);
+  Rng rng(211);
+  Tensor x({2, 3, 8, 8});
+  EXPECT_THROW(fm.perturb(c, x, Tensor({3, c.feature_dim()}), rng),
+               std::invalid_argument);
+  EXPECT_THROW(fm.perturb(c, x, Tensor({2, c.feature_dim() + 1}), rng),
+               std::invalid_argument);
+}
+
+TEST(FeatureGradient, MatchesFiniteDifference) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(212);
+  Tensor x({1, 3, 8, 8});
+  testing::fill_uniform(x, rng, 0.2f, 0.8f);
+  Tensor target({1, c.feature_dim()});
+  testing::fill_uniform(target, rng);
+  const Tensor g = c.feature_input_gradient(x, target);
+  const float h = 1e-3f;
+  Rng pick(213);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t i =
+        static_cast<std::int64_t>(pick.index(static_cast<std::size_t>(x.numel())));
+    Tensor up = x, down = x;
+    up[i] += h;
+    down[i] -= h;
+    float du = 0.0f, dd = 0.0f;
+    c.feature_input_gradient(up, target, &du);
+    c.feature_input_gradient(down, target, &dd);
+    EXPECT_NEAR(g[i], (du - dd) / (2.0f * h), 5e-2f) << "coordinate " << i;
+  }
+}
+
+TEST(RobustTraining, ImprovesRobustAccuracy) {
+  Rng rng(214);
+  Tensor images;
+  std::vector<std::int64_t> labels;
+  make_task(images, labels, 90, rng);
+
+  // Standard training.
+  nn::Classifier standard(tiny_config(), rng);
+  nn::SgdConfig sgd;
+  sgd.learning_rate = 0.05f;
+  Rng r1(215);
+  standard.fit(images, labels, 6, 16, sgd, r1, false);
+
+  // Adversarial training under the same budget.
+  Rng init2(214);
+  nn::Classifier robust(tiny_config(), init2);
+  attack::RobustTrainingConfig rcfg;
+  rcfg.epochs = 6;
+  rcfg.batch_size = 16;
+  rcfg.sgd = sgd;
+  // The brightness toy task needs a boundary-reaching budget (see
+  // Pgd.BeatsFgsmOnTargetedSuccess for the geometry).
+  rcfg.threat.epsilon = attack::epsilon_from_255(40.0f);
+  rcfg.threat.iterations = 3;
+  Rng r2(216);
+  attack::fit_robust(robust, images, labels, rcfg, r2);
+
+  // Evaluate both under untargeted FGSM at the training threat level.
+  attack::AttackConfig eval_cfg;
+  eval_cfg.epsilon = attack::epsilon_from_255(40.0f);
+  eval_cfg.targeted = false;
+  attack::Fgsm fgsm(eval_cfg);
+  Rng a1(217), a2(217);
+  const Tensor adv_std = fgsm.perturb(standard, images, labels, a1);
+  const Tensor adv_rob = fgsm.perturb(robust, images, labels, a2);
+  const double acc_std = standard.evaluate_accuracy(adv_std, labels);
+  const double acc_rob = robust.evaluate_accuracy(adv_rob, labels);
+  EXPECT_GT(acc_rob, acc_std);
+}
+
+TEST(RobustTraining, ValidatesConfig) {
+  Rng rng(218);
+  nn::Classifier c(tiny_config(), rng);
+  Tensor images;
+  std::vector<std::int64_t> labels;
+  make_task(images, labels, 12, rng);
+  attack::RobustTrainingConfig cfg;
+  cfg.adversarial_fraction = 1.5f;
+  EXPECT_THROW(attack::fit_robust(c, images, labels, cfg, rng), std::invalid_argument);
+  labels.pop_back();
+  cfg.adversarial_fraction = 1.0f;
+  EXPECT_THROW(attack::fit_robust(c, images, labels, cfg, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "attack/attack.hpp"
+#include "attack/fgsm.hpp"
+#include "attack/pgd.hpp"
+#include "metrics/success.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+nn::MiniResNetConfig tiny_config() {
+  nn::MiniResNetConfig cfg;
+  cfg.image_size = 8;
+  cfg.base_width = 4;
+  cfg.blocks_per_stage = 1;
+  cfg.num_classes = 3;
+  return cfg;
+}
+
+// A trained classifier on an easy 3-class brightness task; shared across
+// tests because training even the tiny net takes a moment.
+nn::Classifier& trained_classifier() {
+  static nn::Classifier classifier = [] {
+    Rng rng(131);
+    nn::Classifier c(tiny_config(), rng);
+    const std::int64_t n = 90;
+    Tensor images({n, 3, 8, 8});
+    std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t label = i % 3;
+      labels[static_cast<std::size_t>(i)] = label;
+      const float base = 0.2f + 0.3f * static_cast<float>(label);
+      for (std::int64_t j = 0; j < 192; ++j) {
+        images[i * 192 + j] = base + rng.gaussian_f(0.0f, 0.05f);
+      }
+    }
+    nn::SgdConfig sgd;
+    sgd.learning_rate = 0.05f;
+    c.fit(images, labels, 6, 16, sgd, rng, false);
+    return c;
+  }();
+  return classifier;
+}
+
+Tensor class_images(std::int64_t label, std::int64_t n, Rng& rng) {
+  Tensor images({n, 3, 8, 8});
+  const float base = 0.2f + 0.3f * static_cast<float>(label);
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    images[i] = std::clamp(base + rng.gaussian_f(0.0f, 0.05f), 0.0f, 1.0f);
+  }
+  return images;
+}
+
+TEST(AttackConfig, Validation) {
+  attack::AttackConfig cfg;
+  cfg.epsilon = 0.0f;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.clip_min = 1.0f;
+  cfg.clip_max = 0.0f;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.iterations = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(AttackConfig, EffectiveStepDefaultsToMadrySchedule) {
+  attack::AttackConfig cfg;
+  cfg.epsilon = 0.1f;
+  cfg.iterations = 10;
+  EXPECT_NEAR(cfg.effective_step(), 0.025f, 1e-6f);
+  cfg.step_size = 0.007f;
+  EXPECT_NEAR(cfg.effective_step(), 0.007f, 1e-9f);
+}
+
+TEST(AttackConfig, EpsilonFrom255) {
+  EXPECT_NEAR(attack::epsilon_from_255(8.0f), 8.0f / 255.0f, 1e-9f);
+}
+
+TEST(AttackFactory, CreatesBothKinds) {
+  attack::AttackConfig cfg;
+  EXPECT_EQ(attack::make_attack(attack::AttackKind::kFgsm, cfg)->name(), "FGSM");
+  EXPECT_EQ(attack::make_attack(attack::AttackKind::kPgd, cfg)->name(), "PGD");
+  EXPECT_EQ(attack::attack_kind_name(attack::AttackKind::kFgsm), "FGSM");
+  EXPECT_EQ(attack::attack_kind_name(attack::AttackKind::kPgd), "PGD");
+}
+
+class AttackInvariants
+    : public ::testing::TestWithParam<std::tuple<attack::AttackKind, float>> {};
+
+TEST_P(AttackInvariants, LinfBoundAndPixelRangeHold) {
+  const auto [kind, eps255] = GetParam();
+  nn::Classifier& c = trained_classifier();
+  Rng rng(132);
+  const Tensor clean = class_images(0, 4, rng);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(eps255);
+  auto attacker = attack::make_attack(kind, cfg);
+  const std::vector<std::int64_t> targets(4, 2);
+  Rng arng(133);
+  const Tensor adv = attacker->perturb(c, clean, targets, arng);
+  ASSERT_EQ(adv.shape(), clean.shape());
+  EXPECT_LE(ops::linf_distance(adv, clean), cfg.epsilon + 1e-5f);
+  EXPECT_GE(ops::min(adv), 0.0f);
+  EXPECT_LE(ops::max(adv), 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndBudgets, AttackInvariants,
+    ::testing::Combine(::testing::Values(attack::AttackKind::kFgsm,
+                                         attack::AttackKind::kPgd),
+                       ::testing::Values(2.0f, 4.0f, 8.0f, 16.0f)));
+
+TEST(Fgsm, TargetedAttackLowersTargetLoss) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(134);
+  const Tensor clean = class_images(0, 6, rng);
+  const std::vector<std::int64_t> targets(6, 2);
+  float loss_before = 0.0f, loss_after = 0.0f;
+  c.loss_input_gradient(clean, targets, &loss_before);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(16.0f);
+  attack::Fgsm fgsm(cfg);
+  Rng arng(135);
+  const Tensor adv = fgsm.perturb(c, clean, targets, arng);
+  c.loss_input_gradient(adv, targets, &loss_after);
+  EXPECT_LT(loss_after, loss_before);
+}
+
+TEST(Fgsm, UntargetedAttackRaisesTrueLoss) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(136);
+  const Tensor clean = class_images(1, 6, rng);
+  const std::vector<std::int64_t> truth(6, 1);
+  float loss_before = 0.0f, loss_after = 0.0f;
+  c.loss_input_gradient(clean, truth, &loss_before);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(16.0f);
+  cfg.targeted = false;
+  attack::Fgsm fgsm(cfg);
+  Rng arng(137);
+  const Tensor adv = fgsm.perturb(c, clean, truth, arng);
+  c.loss_input_gradient(adv, truth, &loss_after);
+  EXPECT_GT(loss_after, loss_before);
+}
+
+TEST(Pgd, BeatsFgsmOnTargetedSuccess) {
+  // The brightness toy task is robust by construction (the class signal is
+  // the image mean, and an l_inf ball moves the mean by at most eps), so
+  // this relative-strength check targets the adjacent class with a budget
+  // that can reach the decision boundary.
+  nn::Classifier& c = trained_classifier();
+  Rng rng(138);
+  const Tensor clean = class_images(0, 12, rng);
+  const std::vector<std::int64_t> targets(12, 1);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(48.0f);
+
+  attack::Fgsm fgsm(cfg);
+  attack::Pgd pgd(cfg);
+  Rng r1(139), r2(140);
+  const Tensor adv_fgsm = fgsm.perturb(c, clean, targets, r1);
+  const Tensor adv_pgd = pgd.perturb(c, clean, targets, r2);
+  const double s_fgsm = metrics::attack_success(c, adv_fgsm, 1).success_rate;
+  const double s_pgd = metrics::attack_success(c, adv_pgd, 1).success_rate;
+  EXPECT_GE(s_pgd, s_fgsm);
+  EXPECT_GT(s_pgd, 0.5);  // 10-step PGD with a boundary-reaching budget
+}
+
+TEST(Pgd, TargetedSuccessGrowsWithEpsilon) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(141);
+  const Tensor clean = class_images(0, 10, rng);
+  const std::vector<std::int64_t> targets(10, 2);
+  double low_eps_rate, high_eps_rate;
+  {
+    attack::AttackConfig cfg;
+    cfg.epsilon = attack::epsilon_from_255(1.0f);
+    attack::Pgd pgd(cfg);
+    Rng arng(142);
+    low_eps_rate =
+        metrics::attack_success(c, pgd.perturb(c, clean, targets, arng), 2).success_rate;
+  }
+  {
+    attack::AttackConfig cfg;
+    cfg.epsilon = attack::epsilon_from_255(16.0f);
+    attack::Pgd pgd(cfg);
+    Rng arng(143);
+    high_eps_rate =
+        metrics::attack_success(c, pgd.perturb(c, clean, targets, arng), 2).success_rate;
+  }
+  EXPECT_GE(high_eps_rate, low_eps_rate);
+}
+
+TEST(Pgd, RandomStartChangesResultDeterministically) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(144);
+  const Tensor clean = class_images(0, 2, rng);
+  const std::vector<std::int64_t> targets(2, 1);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(8.0f);
+  attack::Pgd pgd(cfg);
+  Rng r1(7), r2(7), r3(8);
+  const Tensor a = pgd.perturb(c, clean, targets, r1);
+  const Tensor b = pgd.perturb(c, clean, targets, r2);
+  const Tensor d = pgd.perturb(c, clean, targets, r3);
+  EXPECT_EQ(ops::linf_distance(a, b), 0.0f);  // same rng -> identical
+  EXPECT_GT(ops::linf_distance(a, d), 0.0f);  // different rng -> different start
+}
+
+TEST(Pgd, NoRandomStartIsBim) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(145);
+  const Tensor clean = class_images(0, 2, rng);
+  const std::vector<std::int64_t> targets(2, 2);
+  attack::AttackConfig cfg;
+  cfg.epsilon = attack::epsilon_from_255(8.0f);
+  cfg.random_start = false;
+  attack::Pgd bim(cfg);
+  Rng r1(1), r2(99);
+  // Without random start the rng is unused: results are rng-independent.
+  const Tensor a = bim.perturb(c, clean, targets, r1);
+  const Tensor b = bim.perturb(c, clean, targets, r2);
+  EXPECT_EQ(ops::linf_distance(a, b), 0.0f);
+}
+
+TEST(Pgd, MoreIterationsDoNotHurtLoss) {
+  nn::Classifier& c = trained_classifier();
+  Rng rng(146);
+  const Tensor clean = class_images(0, 6, rng);
+  const std::vector<std::int64_t> targets(6, 2);
+  auto target_loss_after = [&](std::int64_t iters) {
+    attack::AttackConfig cfg;
+    cfg.epsilon = attack::epsilon_from_255(8.0f);
+    cfg.iterations = iters;
+    cfg.random_start = false;
+    attack::Pgd pgd(cfg);
+    Rng arng(147);
+    const Tensor adv = pgd.perturb(c, clean, targets, arng);
+    float loss = 0.0f;
+    c.loss_input_gradient(adv, targets, &loss);
+    return loss;
+  };
+  EXPECT_LE(target_loss_after(10), target_loss_after(1) + 0.05f);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/batchnorm2d.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+using testing::check_input_gradient;
+using testing::fill_uniform;
+
+TEST(BatchNorm2d, TrainingNormalizesPerChannel) {
+  nn::BatchNorm2d bn(2);
+  Rng rng(21);
+  Tensor x({4, 2, 3, 3});
+  fill_uniform(x, rng, -3.0f, 5.0f);
+  const Tensor y = bn.forward(x, /*train=*/true);
+
+  // With gamma=1, beta=0 the output must have ~zero mean and ~unit variance
+  // per channel across (N, H, W).
+  const std::int64_t plane = 9, n = 4;
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      for (std::int64_t p = 0; p < plane; ++p) {
+        mean += y.data()[(s * 2 + c) * plane + p];
+      }
+    }
+    mean /= static_cast<double>(n * plane);
+    for (std::int64_t s = 0; s < n; ++s) {
+      for (std::int64_t p = 0; p < plane; ++p) {
+        const double d = y.data()[(s * 2 + c) * plane + p] - mean;
+        var += d * d;
+      }
+    }
+    var /= static_cast<double>(n * plane);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, GammaBetaAffectOutput) {
+  nn::BatchNorm2d bn(1);
+  bn.gamma().value[0] = 2.0f;
+  bn.beta().value[0] = -1.0f;
+  Tensor x({2, 1, 2, 2}, std::vector<float>{0, 1, 2, 3, 4, 5, 6, 7});
+  const Tensor y = bn.forward(x, true);
+  // mean of y should be beta, stddev ~ 2 * 1.
+  double mean = 0.0;
+  for (float v : y.flat()) mean += v;
+  mean /= 8.0;
+  EXPECT_NEAR(mean, -1.0, 1e-4);
+}
+
+TEST(BatchNorm2d, RunningStatsConvergeToBatchStats) {
+  nn::BatchNorm2d bn(1, 1e-5f, /*momentum=*/0.5f);
+  Tensor x({2, 1, 2, 2}, std::vector<float>{1, 1, 1, 1, 3, 3, 3, 3});
+  // Batch mean = 2, biased var = 1.
+  for (int i = 0; i < 20; ++i) bn.forward(x, true);
+  EXPECT_NEAR(bn.running_mean().value[0], 2.0f, 1e-3f);
+  EXPECT_NEAR(bn.running_var().value[0], 1.0f, 1e-3f);
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  nn::BatchNorm2d bn(1);
+  bn.running_mean().value[0] = 2.0f;
+  bn.running_var().value[0] = 4.0f;
+  Tensor x({1, 1, 1, 2}, std::vector<float>{2.0f, 4.0f});
+  const Tensor y = bn.forward(x, /*train=*/false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-4f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-3f);  // (4-2)/sqrt(4) = 1
+}
+
+TEST(BatchNorm2d, EvalModeDoesNotTouchRunningStats) {
+  nn::BatchNorm2d bn(1);
+  Tensor x({2, 1, 2, 2}, 5.0f);
+  bn.forward(x, false);
+  EXPECT_EQ(bn.running_mean().value[0], 0.0f);
+  EXPECT_EQ(bn.running_var().value[0], 1.0f);
+}
+
+TEST(BatchNorm2d, TrainingInputGradient) {
+  Rng rng(22);
+  nn::BatchNorm2d bn(2);
+  fill_uniform(bn.gamma().value, rng, 0.5f, 1.5f);
+  fill_uniform(bn.beta().value, rng);
+  Tensor x({3, 2, 2, 2});
+  fill_uniform(x, rng, -2.0f, 2.0f);
+  check_input_gradient(bn, x, rng, /*train_mode=*/true, 1e-3f, 5e-2f);
+}
+
+TEST(BatchNorm2d, EvalInputGradient) {
+  Rng rng(23);
+  nn::BatchNorm2d bn(2);
+  fill_uniform(bn.gamma().value, rng, 0.5f, 1.5f);
+  bn.running_mean().value = Tensor({2}, std::vector<float>{0.3f, -0.2f});
+  bn.running_var().value = Tensor({2}, std::vector<float>{1.5f, 0.7f});
+  Tensor x({2, 2, 2, 2});
+  fill_uniform(x, rng);
+  check_input_gradient(bn, x, rng, /*train_mode=*/false);
+}
+
+TEST(BatchNorm2d, RunningBuffersAreNotTrainable) {
+  nn::BatchNorm2d bn(3);
+  int trainable = 0;
+  for (nn::Param* p : bn.params()) {
+    if (p->trainable) ++trainable;
+  }
+  EXPECT_EQ(trainable, 2);  // gamma + beta only
+  EXPECT_EQ(bn.params().size(), 4u);
+}
+
+TEST(BatchNorm2d, RejectsBadShapes) {
+  nn::BatchNorm2d bn(2);
+  EXPECT_THROW(bn.forward(Tensor({1, 3, 2, 2}), true), std::invalid_argument);
+  EXPECT_THROW(bn.forward(Tensor({2, 2}), true), std::invalid_argument);
+  EXPECT_THROW(bn.backward(Tensor({1, 2, 2, 2})), std::logic_error);
+  EXPECT_THROW(nn::BatchNorm2d(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/categories.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(Categories, TaxonomyHas16Entries) {
+  EXPECT_EQ(data::num_categories(), 16);
+  EXPECT_EQ(data::fashion_taxonomy().size(), 16u);
+}
+
+TEST(Categories, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& info : data::fashion_taxonomy()) names.insert(info.name);
+  EXPECT_EQ(names.size(), 16u);
+}
+
+TEST(Categories, PaperScenarioCategoriesExist) {
+  EXPECT_EQ(data::category_name(data::kSock), "Sock");
+  EXPECT_EQ(data::category_name(data::kRunningShoe), "Running Shoe");
+  EXPECT_EQ(data::category_name(data::kAnalogClock), "Analog Clock");
+  EXPECT_EQ(data::category_name(data::kJerseyTShirt), "Jersey, T-shirt");
+  EXPECT_EQ(data::category_name(data::kMaillot), "Maillot");
+  EXPECT_EQ(data::category_name(data::kBrassiere), "Brassiere");
+  EXPECT_EQ(data::category_name(data::kChain), "Chain");
+}
+
+TEST(Categories, LookupByNameRoundtrips) {
+  for (std::int32_t c = 0; c < data::num_categories(); ++c) {
+    EXPECT_EQ(data::category_id_by_name(data::category_name(c)), c);
+  }
+  EXPECT_THROW(data::category_id_by_name("Spaceship"), std::invalid_argument);
+}
+
+TEST(Categories, SimilarPairsShareVisualFamily) {
+  const auto& t = data::fashion_taxonomy();
+  // Sock and Running Shoe: same pattern family (the paper's similar pair).
+  EXPECT_EQ(t[data::kSock].style.pattern, t[data::kRunningShoe].style.pattern);
+  // Maillot and Brassiere likewise.
+  EXPECT_EQ(t[data::kMaillot].style.pattern, t[data::kBrassiere].style.pattern);
+  // Dissimilar pairs must differ in pattern family.
+  EXPECT_NE(t[data::kSock].style.pattern, t[data::kAnalogClock].style.pattern);
+  EXPECT_NE(t[data::kMaillot].style.pattern, t[data::kChain].style.pattern);
+}
+
+TEST(Categories, SimilarPairsHaveClosePalettes) {
+  const auto& t = data::fashion_taxonomy();
+  auto palette_distance = [&](int a, int b) {
+    double d = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      const double diff = t[static_cast<std::size_t>(a)].style.primary[c] -
+                          t[static_cast<std::size_t>(b)].style.primary[c];
+      d += diff * diff;
+    }
+    return d;
+  };
+  EXPECT_LT(palette_distance(data::kSock, data::kRunningShoe),
+            palette_distance(data::kSock, data::kAnalogClock));
+  EXPECT_LT(palette_distance(data::kMaillot, data::kBrassiere),
+            palette_distance(data::kMaillot, data::kChain));
+}
+
+TEST(Categories, GroupsPartitionTheTaxonomy) {
+  std::vector<int> seen(16, 0);
+  for (const auto& group : data::category_groups()) {
+    EXPECT_FALSE(group.empty());
+    for (std::int32_t c : group) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, 16);
+      ++seen[static_cast<std::size_t>(c)];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);  // exactly one group each
+}
+
+TEST(Categories, GroupOfIsConsistentWithGroups) {
+  const auto& groups = data::category_groups();
+  for (std::int32_t c = 0; c < data::num_categories(); ++c) {
+    const std::int32_t g = data::group_of(c);
+    ASSERT_GE(g, 0);
+    ASSERT_LT(g, static_cast<std::int32_t>(groups.size()));
+    const auto& members = groups[static_cast<std::size_t>(g)];
+    EXPECT_NE(std::find(members.begin(), members.end(), c), members.end());
+  }
+  EXPECT_THROW(data::group_of(99), std::invalid_argument);
+}
+
+TEST(Categories, ScenarioPairsGroupStructure) {
+  // The paper's similar pairs share a shopper-affinity group; the
+  // dissimilar pairs do not (this is what drives the CHR asymmetry).
+  EXPECT_EQ(data::group_of(data::kSock), data::group_of(data::kRunningShoe));
+  EXPECT_EQ(data::group_of(data::kMaillot), data::group_of(data::kBrassiere));
+  EXPECT_NE(data::group_of(data::kSock), data::group_of(data::kAnalogClock));
+  EXPECT_NE(data::group_of(data::kMaillot), data::group_of(data::kChain));
+}
+
+TEST(Categories, StylesAreInRange) {
+  for (const auto& info : data::fashion_taxonomy()) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(info.style.primary[c], 0.0f);
+      EXPECT_LE(info.style.primary[c], 1.0f);
+      EXPECT_GE(info.style.secondary[c], 0.0f);
+      EXPECT_LE(info.style.secondary[c], 1.0f);
+    }
+    EXPECT_GT(info.style.frequency, 0.0f);
+    EXPECT_GE(info.style.noise, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "data/categories.hpp"
+#include "metrics/chr.hpp"
+
+namespace taamr {
+namespace {
+
+data::ImplicitDataset make_dataset() {
+  data::ImplicitDataset ds;
+  ds.name = "chr";
+  ds.num_users = 2;
+  ds.num_items = 6;
+  ds.item_category = {0, 0, 1, 1, 2, 2};
+  ds.item_image_seed = {0, 1, 2, 3, 4, 5};
+  ds.train = {{0}, {5}};
+  ds.test = {-1, -1};
+  return ds;
+}
+
+TEST(Chr, HandComputedValues) {
+  const auto ds = make_dataset();
+  // Top-3 lists: user 0 sees {1 (cat0), 2 (cat1), 4 (cat2)},
+  //              user 1 sees {2 (cat1), 3 (cat1), 0 (cat0)}.
+  const std::vector<std::vector<std::int32_t>> lists = {{1, 2, 4}, {2, 3, 0}};
+  // CHR@3(cat0) = (1 + 1) / (3 * 2) = 1/3.
+  EXPECT_NEAR(metrics::category_hit_ratio(lists, ds, 0, 3), 1.0 / 3.0, 1e-9);
+  // CHR@3(cat1) = (1 + 2) / 6 = 0.5.
+  EXPECT_NEAR(metrics::category_hit_ratio(lists, ds, 1, 3), 0.5, 1e-9);
+  // CHR@3(cat2) = 1/6.
+  EXPECT_NEAR(metrics::category_hit_ratio(lists, ds, 2, 3), 1.0 / 6.0, 1e-9);
+}
+
+TEST(Chr, AllCategoriesSumToFillFraction) {
+  const auto ds = make_dataset();
+  const std::vector<std::vector<std::int32_t>> lists = {{1, 2, 4}, {2, 3, 0}};
+  const auto all = metrics::category_hit_ratio_all(lists, ds, 3);
+  double total = 0.0;
+  for (double v : all) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);  // lists are full
+}
+
+TEST(Chr, ShortListsLowerTheSum) {
+  const auto ds = make_dataset();
+  const std::vector<std::vector<std::int32_t>> lists = {{1}, {2}};
+  const auto all = metrics::category_hit_ratio_all(lists, ds, 3);
+  double total = 0.0;
+  for (double v : all) total += v;
+  EXPECT_NEAR(total, 2.0 / 6.0, 1e-9);
+}
+
+TEST(Chr, EmptyCategoryIsZero) {
+  const auto ds = make_dataset();
+  const std::vector<std::vector<std::int32_t>> lists = {{1}, {2}};
+  EXPECT_EQ(metrics::category_hit_ratio(lists, ds, 5, 3), 0.0);
+}
+
+TEST(Chr, ValidatesArguments) {
+  const auto ds = make_dataset();
+  const std::vector<std::vector<std::int32_t>> lists = {{1}, {2}};
+  EXPECT_THROW(metrics::category_hit_ratio(lists, ds, 0, 0), std::invalid_argument);
+  EXPECT_THROW(metrics::category_hit_ratio(lists, ds, -1, 3), std::invalid_argument);
+  EXPECT_THROW(metrics::category_hit_ratio(lists, ds, 99, 3), std::invalid_argument);
+  const std::vector<std::vector<std::int32_t>> too_few = {{1}};
+  EXPECT_THROW(metrics::category_hit_ratio(too_few, ds, 0, 3), std::invalid_argument);
+  const std::vector<std::vector<std::int32_t>> too_long = {{1, 2, 3, 4}, {0}};
+  EXPECT_THROW(metrics::category_hit_ratio(too_long, ds, 0, 3), std::invalid_argument);
+  const std::vector<std::vector<std::int32_t>> bad_item = {{99}, {0}};
+  EXPECT_THROW(metrics::category_hit_ratio(bad_item, ds, 0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+using testing::check_input_gradient;
+using testing::check_param_gradient;
+using testing::fill_uniform;
+
+// Direct convolution reference (cross-correlation, as in all DL frameworks).
+Tensor naive_conv(const Tensor& x, const Tensor& w_lowered, std::int64_t out_c,
+                  std::int64_t k, std::int64_t stride, std::int64_t pad) {
+  const std::int64_t n = x.dim(0), in_c = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const std::int64_t oh = (h + 2 * pad - k) / stride + 1;
+  const std::int64_t ow = (wd + 2 * pad - k) / stride + 1;
+  Tensor y({n, out_c, oh, ow});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t oc = 0; oc < out_c; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          double acc = 0.0;
+          for (std::int64_t ic = 0; ic < in_c; ++ic) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t iy = oy * stride + ky - pad;
+                const std::int64_t ix = ox * stride + kx - pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wd) continue;
+                const float wv = w_lowered.at(oc, (ic * k + ky) * k + kx);
+                acc += static_cast<double>(wv) * x.at(s, ic, iy, ix);
+              }
+            }
+          }
+          y.at(s, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+class Conv2dGeometry
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t,
+                                                 std::int64_t, std::int64_t>> {};
+
+TEST_P(Conv2dGeometry, ForwardMatchesNaive) {
+  const auto [in_c, out_c, kernel, stride] = GetParam();
+  const std::int64_t pad = kernel / 2;
+  nn::Conv2d layer(in_c, out_c, kernel, stride, pad, /*bias=*/true);
+  Rng rng(11);
+  fill_uniform(layer.weight().value, rng);
+  fill_uniform(layer.bias().value, rng);
+  Tensor x({2, in_c, 8, 8});
+  fill_uniform(x, rng);
+  const Tensor got = layer.forward(x, true);
+  Tensor want = naive_conv(x, layer.weight().value, out_c, kernel, stride, pad);
+  // Add bias to the reference.
+  const std::int64_t plane = want.dim(2) * want.dim(3);
+  for (std::int64_t s = 0; s < want.dim(0); ++s) {
+    for (std::int64_t c = 0; c < out_c; ++c) {
+      for (std::int64_t p = 0; p < plane; ++p) {
+        want.data()[(s * out_c + c) * plane + p] += layer.bias().value[c];
+      }
+    }
+  }
+  testing::expect_tensor_near(got, want, 1e-3f, "conv forward");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Conv2dGeometry,
+    ::testing::Values(std::make_tuple(1, 1, 3, 1), std::make_tuple(2, 3, 3, 1),
+                      std::make_tuple(3, 2, 3, 2), std::make_tuple(2, 2, 1, 1),
+                      std::make_tuple(1, 4, 5, 1), std::make_tuple(2, 2, 1, 2)));
+
+TEST(Conv2d, InputGradientMatchesFiniteDifference) {
+  Rng rng(13);
+  nn::Conv2d layer(2, 3, 3, 1, 1);
+  fill_uniform(layer.weight().value, rng, -0.5f, 0.5f);
+  Tensor x({1, 2, 5, 5});
+  fill_uniform(x, rng);
+  check_input_gradient(layer, x, rng);
+}
+
+TEST(Conv2d, StridedInputGradientMatchesFiniteDifference) {
+  Rng rng(14);
+  nn::Conv2d layer(1, 2, 3, 2, 1);
+  fill_uniform(layer.weight().value, rng, -0.5f, 0.5f);
+  Tensor x({2, 1, 6, 6});
+  fill_uniform(x, rng);
+  check_input_gradient(layer, x, rng);
+}
+
+TEST(Conv2d, WeightGradientMatchesFiniteDifference) {
+  Rng rng(15);
+  nn::Conv2d layer(2, 2, 3, 1, 1, /*bias=*/true);
+  fill_uniform(layer.weight().value, rng, -0.5f, 0.5f);
+  Tensor x({2, 2, 4, 4});
+  fill_uniform(x, rng);
+  check_param_gradient(layer, x, layer.weight(), rng);
+}
+
+TEST(Conv2d, BiasGradientMatchesFiniteDifference) {
+  Rng rng(16);
+  nn::Conv2d layer(1, 2, 3, 1, 1, /*bias=*/true);
+  fill_uniform(layer.weight().value, rng, -0.5f, 0.5f);
+  Tensor x({2, 1, 4, 4});
+  fill_uniform(x, rng);
+  check_param_gradient(layer, x, layer.bias(), rng);
+}
+
+TEST(Conv2d, RejectsBadInput) {
+  nn::Conv2d layer(3, 4, 3, 1, 1);
+  EXPECT_THROW(layer.forward(Tensor({1, 2, 8, 8}), true), std::invalid_argument);
+  EXPECT_THROW(layer.forward(Tensor({3, 8, 8}), true), std::invalid_argument);
+  EXPECT_THROW(layer.backward(Tensor({1, 4, 8, 8})), std::logic_error);
+}
+
+TEST(Conv2d, DefaultHasNoBias) {
+  nn::Conv2d layer(1, 1, 3);
+  EXPECT_EQ(layer.params().size(), 1u);  // weight only (BN provides the shift)
+}
+
+TEST(Conv2d, NameDescribesGeometry) {
+  nn::Conv2d layer(3, 16, 3, 2, 1);
+  EXPECT_EQ(layer.name(), "Conv2d(3->16, k=3, s=2, p=1)");
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "data/amazon_synth.hpp"
+#include "data/dataset.hpp"
+#include "tensor/ops.hpp"
+
+namespace taamr {
+namespace {
+
+data::ImplicitDataset make_dataset() {
+  return data::generate_synthetic_dataset(data::amazon_men_spec(data::kTestScale));
+}
+
+data::ImageGenConfig small_images() {
+  data::ImageGenConfig cfg;
+  cfg.size = 12;
+  return cfg;
+}
+
+TEST(ImageCatalog, RendersEveryItem) {
+  const auto ds = make_dataset();
+  const auto catalog = data::render_catalog(ds, small_images());
+  EXPECT_EQ(catalog.num_items(), ds.num_items);
+  EXPECT_EQ(catalog.images.shape(), (Shape{ds.num_items, 3, 12, 12}));
+  for (float v : catalog.images.flat()) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+}
+
+TEST(ImageCatalog, DeterministicRendering) {
+  const auto ds = make_dataset();
+  const auto a = data::render_catalog(ds, small_images());
+  const auto b = data::render_catalog(ds, small_images());
+  EXPECT_EQ(ops::linf_distance(a.images, b.images), 0.0f);
+}
+
+TEST(ImageCatalog, ImageAccessorsRoundtrip) {
+  const auto ds = make_dataset();
+  auto catalog = data::render_catalog(ds, small_images());
+  const Tensor img = catalog.image(3);
+  EXPECT_EQ(img.shape(), (Shape{3, 12, 12}));
+  Tensor modified = img;
+  modified.fill(0.5f);
+  catalog.set_image(3, modified);
+  EXPECT_EQ(catalog.image(3)[0], 0.5f);
+  EXPECT_THROW(catalog.image(-1), std::out_of_range);
+  EXPECT_THROW(catalog.image(catalog.num_items()), std::out_of_range);
+  EXPECT_THROW(catalog.set_image(0, Tensor({3, 4, 4})), std::invalid_argument);
+}
+
+TEST(ImageCatalog, GatherScatterRoundtrip) {
+  const auto ds = make_dataset();
+  auto catalog = data::render_catalog(ds, small_images());
+  const std::vector<std::int32_t> items = {0, 2, 5};
+  Tensor batch = data::gather_images(catalog, items);
+  EXPECT_EQ(batch.shape(), (Shape{3, 3, 12, 12}));
+  // Gathered rows match the individual accessors.
+  const Tensor item2 = catalog.image(2);
+  for (std::int64_t i = 0; i < item2.numel(); ++i) {
+    ASSERT_EQ(batch[item2.numel() + i], item2[i]);
+  }
+  // Perturb and scatter back.
+  ops::add_scalar(batch, 0.0f);  // no-op copy sanity
+  for (float& v : batch.storage()) v = 0.25f;
+  data::scatter_images(catalog, items, batch);
+  EXPECT_EQ(catalog.image(5)[0], 0.25f);
+  // Untouched items keep their pixels.
+  EXPECT_NE(catalog.image(1)[0], 0.25f);
+}
+
+TEST(ImageCatalog, GatherValidatesInput) {
+  const auto ds = make_dataset();
+  const auto catalog = data::render_catalog(ds, small_images());
+  EXPECT_THROW(data::gather_images(catalog, std::vector<std::int32_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(data::gather_images(catalog, std::vector<std::int32_t>{-1}),
+               std::out_of_range);
+}
+
+TEST(ImageCatalog, ScatterValidatesShape) {
+  const auto ds = make_dataset();
+  auto catalog = data::render_catalog(ds, small_images());
+  const std::vector<std::int32_t> items = {0, 1};
+  EXPECT_THROW(data::scatter_images(catalog, items, Tensor({1, 3, 12, 12})),
+               std::invalid_argument);
+}
+
+TEST(ImageCatalog, ItemsOfSameCategoryShareStyleFamily) {
+  const auto ds = make_dataset();
+  const auto catalog = data::render_catalog(ds, small_images());
+  // Two items of the same category are closer on average than two items of
+  // different categories (weak but stable structural property).
+  const auto socks = ds.items_of_category(data::kSock);
+  const auto clocks = ds.items_of_category(data::kAnalogClock);
+  if (socks.size() >= 2 && !clocks.empty()) {
+    const float within = ops::squared_distance(catalog.image(socks[0]),
+                                               catalog.image(socks[1]));
+    const float across = ops::squared_distance(catalog.image(socks[0]),
+                                               catalog.image(clocks[0]));
+    EXPECT_LT(within, across);
+  }
+}
+
+}  // namespace
+}  // namespace taamr

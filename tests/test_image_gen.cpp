@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "data/image_gen.hpp"
+#include "tensor/ops.hpp"
+
+namespace taamr {
+namespace {
+
+data::ImageGenConfig small_config() {
+  data::ImageGenConfig cfg;
+  cfg.size = 16;
+  return cfg;
+}
+
+TEST(ImageGen, ShapeAndRange) {
+  const auto& style = data::fashion_taxonomy()[data::kSock].style;
+  const Tensor img = data::render_item_image(style, 123, small_config());
+  ASSERT_EQ(img.shape(), (Shape{3, 16, 16}));
+  for (float v : img.flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(ImageGen, DeterministicPerSeed) {
+  const auto& style = data::fashion_taxonomy()[data::kChain].style;
+  const Tensor a = data::render_item_image(style, 42, small_config());
+  const Tensor b = data::render_item_image(style, 42, small_config());
+  EXPECT_EQ(ops::linf_distance(a, b), 0.0f);
+}
+
+TEST(ImageGen, DifferentSeedsGiveDifferentItems) {
+  const auto& style = data::fashion_taxonomy()[data::kSock].style;
+  const Tensor a = data::render_item_image(style, 1, small_config());
+  const Tensor b = data::render_item_image(style, 2, small_config());
+  EXPECT_GT(ops::linf_distance(a, b), 0.05f);
+}
+
+TEST(ImageGen, CategoriesAreVisuallyDistinct) {
+  // Mean per-pixel distance between category prototypes must exceed the
+  // within-category jitter — this is what makes the CNN task learnable.
+  const auto& tax = data::fashion_taxonomy();
+  auto mean_img = [&](std::int32_t cat) {
+    Tensor acc({3, 16, 16});
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      ops::add_inplace(acc, data::render_item_image(
+                                tax[static_cast<std::size_t>(cat)].style,
+                                1000 + s * 17 + static_cast<std::uint64_t>(cat),
+                                small_config()));
+    }
+    ops::scale_inplace(acc, 1.0f / 8.0f);
+    return acc;
+  };
+  const Tensor sock = mean_img(data::kSock);
+  const Tensor clock = mean_img(data::kAnalogClock);
+  const Tensor chain = mean_img(data::kChain);
+  EXPECT_GT(ops::squared_distance(sock, clock) / sock.numel(), 0.005f);
+  EXPECT_GT(ops::squared_distance(sock, chain) / sock.numel(), 0.005f);
+  EXPECT_GT(ops::squared_distance(clock, chain) / sock.numel(), 0.005f);
+}
+
+TEST(ImageGen, SimilarCategoriesCloserThanDissimilar) {
+  const auto& tax = data::fashion_taxonomy();
+  auto mean_img = [&](std::int32_t cat) {
+    Tensor acc({3, 16, 16});
+    for (std::uint64_t s = 0; s < 12; ++s) {
+      ops::add_inplace(acc, data::render_item_image(
+                                tax[static_cast<std::size_t>(cat)].style,
+                                500 + s * 31 + static_cast<std::uint64_t>(cat) * 7,
+                                small_config()));
+    }
+    ops::scale_inplace(acc, 1.0f / 12.0f);
+    return acc;
+  };
+  const Tensor sock = mean_img(data::kSock);
+  EXPECT_LT(ops::squared_distance(sock, mean_img(data::kRunningShoe)),
+            ops::squared_distance(sock, mean_img(data::kAnalogClock)));
+}
+
+TEST(ImageGen, TrainingSetRoundRobinLabels) {
+  const auto set = data::render_training_set(3, 777, small_config());
+  const std::int64_t k = data::num_categories();
+  ASSERT_EQ(set.images.dim(0), 3 * k);
+  ASSERT_EQ(static_cast<std::int64_t>(set.labels.size()), 3 * k);
+  for (std::int64_t i = 0; i < 3 * k; ++i) {
+    EXPECT_EQ(set.labels[static_cast<std::size_t>(i)], i % k);
+  }
+}
+
+TEST(ImageGen, TrainingSetDeterministic) {
+  const auto a = data::render_training_set(2, 99, small_config());
+  const auto b = data::render_training_set(2, 99, small_config());
+  EXPECT_EQ(ops::linf_distance(a.images, b.images), 0.0f);
+}
+
+class ImageGenAllCategories : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImageGenAllCategories, RendersValidImage) {
+  const auto& style =
+      data::fashion_taxonomy()[static_cast<std::size_t>(GetParam())].style;
+  const Tensor img = data::render_item_image(style, 31337, small_config());
+  EXPECT_EQ(img.numel(), 3 * 16 * 16);
+  float mn = 1.0f, mx = 0.0f;
+  for (float v : img.flat()) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  // Every category image must have some contrast (not a flat color).
+  EXPECT_GT(mx - mn, 0.05f) << data::category_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCategories, ImageGenAllCategories,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/image_quality.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+nn::Classifier tiny_classifier(Rng& rng) {
+  nn::MiniResNetConfig cfg;
+  cfg.image_size = 8;
+  cfg.base_width = 4;
+  cfg.blocks_per_stage = 1;
+  cfg.num_classes = 3;
+  return nn::Classifier(cfg, rng);
+}
+
+TEST(Mse, KnownValue) {
+  Tensor a({4}, std::vector<float>{0, 0, 0, 0});
+  Tensor b({4}, std::vector<float>{1, 1, 0, 0});
+  EXPECT_NEAR(metrics::mse(a, b), 0.5, 1e-9);
+  EXPECT_THROW(metrics::mse(a, Tensor({3})), std::invalid_argument);
+}
+
+TEST(Psnr, IdenticalImagesAreInfinite) {
+  Tensor a({3, 4, 4}, 0.5f);
+  EXPECT_TRUE(std::isinf(metrics::psnr(a, a)));
+}
+
+TEST(Psnr, KnownUniformError) {
+  Tensor a({1, 2, 2}, 0.0f);
+  Tensor b({1, 2, 2}, 0.1f);
+  // MSE = 0.01, peak = 1 -> PSNR = 10*log10(1/0.01) = 20 dB.
+  EXPECT_NEAR(metrics::psnr(a, b), 20.0, 1e-6);
+}
+
+TEST(Psnr, PeakScalesResult) {
+  Tensor a({1, 2, 2}, 0.0f);
+  Tensor b({1, 2, 2}, 25.5f);
+  // On the 255 scale: MSE = 650.25 -> PSNR = 20 dB again.
+  EXPECT_NEAR(metrics::psnr(a, b, 255.0), 20.0, 1e-6);
+  EXPECT_THROW(metrics::psnr(a, b, 0.0), std::invalid_argument);
+}
+
+TEST(Psnr, DecreasesWithNoiseLevel) {
+  Rng rng(111);
+  Tensor a({3, 8, 8});
+  testing::fill_uniform(a, rng, 0.2f, 0.8f);
+  double last = 1e9;
+  for (float noise : {0.01f, 0.03f, 0.08f}) {
+    Tensor b = a;
+    Rng nrng(112);
+    for (float& v : b.storage()) v += nrng.gaussian_f(0.0f, noise);
+    const double p = metrics::psnr(a, b);
+    EXPECT_LT(p, last);
+    last = p;
+  }
+}
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  Rng rng(113);
+  Tensor a({3, 16, 16});
+  testing::fill_uniform(a, rng, 0.0f, 1.0f);
+  EXPECT_NEAR(metrics::ssim(a, a), 1.0, 1e-9);
+}
+
+TEST(Ssim, DecreasesWithNoise) {
+  Rng rng(114);
+  Tensor a({3, 16, 16});
+  testing::fill_uniform(a, rng, 0.2f, 0.8f);
+  double last = 1.1;
+  for (float noise : {0.01f, 0.05f, 0.15f}) {
+    Tensor b = a;
+    Rng nrng(115);
+    for (float& v : b.storage()) v += nrng.gaussian_f(0.0f, noise);
+    const double s = metrics::ssim(a, b);
+    EXPECT_LT(s, last);
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+    last = s;
+  }
+}
+
+TEST(Ssim, ConstantShiftBarelyAffectsStructure) {
+  // SSIM is structure-focused: a small uniform brightness shift should
+  // score much higher than structured noise of similar energy.
+  Rng rng(116);
+  Tensor a({1, 16, 16});
+  testing::fill_uniform(a, rng, 0.3f, 0.7f);
+  Tensor shifted = a;
+  for (float& v : shifted.storage()) v += 0.05f;
+  Tensor noisy = a;
+  Rng nrng(117);
+  for (float& v : noisy.storage()) v += nrng.gaussian_f(0.0f, 0.05f);
+  EXPECT_GT(metrics::ssim(a, shifted), metrics::ssim(a, noisy));
+}
+
+TEST(Ssim, ValidatesInput) {
+  Tensor a({3, 16, 16});
+  EXPECT_THROW(metrics::ssim(a, Tensor({3, 8, 8})), std::invalid_argument);
+  EXPECT_THROW(metrics::ssim(Tensor({16, 16}), Tensor({16, 16})),
+               std::invalid_argument);
+  metrics::SsimConfig cfg;
+  cfg.window = 0;
+  EXPECT_THROW(metrics::ssim(a, a, cfg), std::invalid_argument);
+}
+
+TEST(Psm, ZeroForIdenticalImages) {
+  Rng rng(118);
+  nn::Classifier c = tiny_classifier(rng);
+  Tensor a({3, 8, 8});
+  testing::fill_uniform(a, rng, 0.0f, 1.0f);
+  EXPECT_NEAR(metrics::psm(c, a, a), 0.0, 1e-9);
+}
+
+TEST(Psm, PositiveForDifferentImages) {
+  Rng rng(119);
+  nn::Classifier c = tiny_classifier(rng);
+  Tensor a({3, 8, 8}), b({3, 8, 8});
+  testing::fill_uniform(a, rng, 0.0f, 1.0f);
+  testing::fill_uniform(b, rng, 0.0f, 1.0f);
+  EXPECT_GT(metrics::psm(c, a, b), 0.0);
+}
+
+TEST(Psm, GrowsWithPerturbationSize) {
+  Rng rng(120);
+  nn::Classifier c = tiny_classifier(rng);
+  Tensor a({3, 8, 8});
+  testing::fill_uniform(a, rng, 0.3f, 0.7f);
+  Tensor small = a, big = a;
+  Rng n1(121), n2(121);
+  for (float& v : small.storage()) v += n1.gaussian_f(0.0f, 0.02f);
+  for (float& v : big.storage()) v += n2.gaussian_f(0.0f, 0.2f);
+  EXPECT_LT(metrics::psm(c, a, small), metrics::psm(c, a, big));
+}
+
+TEST(VisualQuality, BatchAverageMatchesSingleImageMetrics) {
+  Rng rng(122);
+  nn::Classifier c = tiny_classifier(rng);
+  Tensor batch_a({2, 3, 8, 8}), batch_b({2, 3, 8, 8});
+  testing::fill_uniform(batch_a, rng, 0.2f, 0.8f);
+  batch_b = batch_a;
+  for (float& v : batch_b.storage()) v += 0.01f;
+  const auto q = metrics::average_visual_quality(c, batch_a, batch_b);
+  // Both pairs are identical-up-to-shift, so the average equals the single
+  // pair metric.
+  Tensor a0({3, 8, 8}), b0({3, 8, 8});
+  std::copy(batch_a.data(), batch_a.data() + 192, a0.data());
+  std::copy(batch_b.data(), batch_b.data() + 192, b0.data());
+  EXPECT_NEAR(q.psnr, metrics::psnr(a0, b0), 0.3);
+  EXPECT_NEAR(q.ssim, metrics::ssim(a0, b0), 0.01);
+  EXPECT_GE(q.psm, 0.0);
+}
+
+TEST(VisualQuality, ValidatesBatchShape) {
+  Rng rng(123);
+  nn::Classifier c = tiny_classifier(rng);
+  EXPECT_THROW(
+      metrics::average_visual_quality(c, Tensor({2, 3, 8, 8}), Tensor({3, 3, 8, 8})),
+      std::invalid_argument);
+  EXPECT_THROW(metrics::average_visual_quality(c, Tensor({3, 8, 8}), Tensor({3, 8, 8})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/resnet.hpp"
+#include "nn/sequential.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(Init, HeNormalStddev) {
+  Rng rng(71);
+  Tensor w({200, 50});
+  nn::he_normal(w, 50, rng);
+  double sum = 0.0, sum2 = 0.0;
+  for (float v : w.flat()) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(w.numel());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 2.0 / 50.0, 0.005);
+  EXPECT_THROW(nn::he_normal(w, 0, rng), std::invalid_argument);
+}
+
+TEST(Init, XavierUniformBounds) {
+  Rng rng(72);
+  Tensor w({100, 60});
+  nn::xavier_uniform(w, 60, 100, rng);
+  const float bound = std::sqrt(6.0f / 160.0f);
+  for (float v : w.flat()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+  EXPECT_THROW(nn::xavier_uniform(w, -1, 2, rng), std::invalid_argument);
+}
+
+TEST(Init, InitializeNetworkTouchesWeightsOnly) {
+  nn::Sequential net;
+  net.emplace<nn::Linear>(10, 10);
+  Rng rng(73);
+  nn::initialize_network(net, rng);
+  auto params = net.params();
+  // Weight is randomized, bias stays zero.
+  bool weight_nonzero = false;
+  for (std::int64_t i = 0; i < params[0]->value.numel(); ++i) {
+    if (params[0]->value[i] != 0.0f) weight_nonzero = true;
+  }
+  EXPECT_TRUE(weight_nonzero);
+  for (std::int64_t i = 0; i < params[1]->value.numel(); ++i) {
+    EXPECT_EQ(params[1]->value[i], 0.0f);
+  }
+}
+
+TEST(Init, DeterministicGivenSeed) {
+  nn::MiniResNetConfig cfg;
+  cfg.image_size = 8;
+  cfg.base_width = 4;
+  cfg.blocks_per_stage = 1;
+  cfg.num_classes = 3;
+  Rng rng_a(99), rng_b(99);
+  const nn::MiniResNet a = nn::build_mini_resnet(cfg, rng_a);
+  nn::MiniResNet b = nn::build_mini_resnet(cfg, rng_b);
+  nn::MiniResNet& a_mut = const_cast<nn::MiniResNet&>(a);
+  const auto pa = a_mut.net.params();
+  const auto pb = b.net.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i]->value.numel(); ++j) {
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "data/interactions.hpp"
+
+namespace taamr {
+namespace {
+
+data::ImplicitDataset tiny_dataset() {
+  data::ImplicitDataset ds;
+  ds.name = "tiny";
+  ds.num_users = 3;
+  ds.num_items = 5;
+  ds.item_category = {0, 1, 1, 2, 0};
+  ds.item_image_seed = {10, 11, 12, 13, 14};
+  ds.train = {{0, 1}, {2, 3, 4}, {0, 4}};
+  ds.test = {2, 0, 1};
+  return ds;
+}
+
+TEST(ImplicitDataset, FeedbackCounts) {
+  const auto ds = tiny_dataset();
+  EXPECT_EQ(ds.num_train_feedback(), 7);
+  EXPECT_EQ(ds.num_feedback(), 10);
+}
+
+TEST(ImplicitDataset, FeedbackCountSkipsMissingTest) {
+  auto ds = tiny_dataset();
+  ds.test[1] = -1;
+  EXPECT_EQ(ds.num_feedback(), 9);
+}
+
+TEST(ImplicitDataset, UserInteracted) {
+  const auto ds = tiny_dataset();
+  EXPECT_TRUE(ds.user_interacted(0, 1));
+  EXPECT_FALSE(ds.user_interacted(0, 2));
+  EXPECT_TRUE(ds.user_interacted(2, 4));
+}
+
+TEST(ImplicitDataset, ItemsOfCategory) {
+  const auto ds = tiny_dataset();
+  EXPECT_EQ(ds.items_of_category(0), (std::vector<std::int32_t>{0, 4}));
+  EXPECT_EQ(ds.items_of_category(1), (std::vector<std::int32_t>{1, 2}));
+  EXPECT_TRUE(ds.items_of_category(5).empty());
+}
+
+TEST(ImplicitDataset, ItemTrainCounts) {
+  const auto ds = tiny_dataset();
+  const auto counts = ds.item_train_counts();
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[4], 2);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(ImplicitDataset, ValidatePasses) {
+  EXPECT_NO_THROW(tiny_dataset().validate(2));
+}
+
+TEST(ImplicitDataset, ValidateCatchesUnsortedTrain) {
+  auto ds = tiny_dataset();
+  ds.train[0] = {1, 0};
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(ImplicitDataset, ValidateCatchesDuplicates) {
+  auto ds = tiny_dataset();
+  ds.train[0] = {1, 1};
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(ImplicitDataset, ValidateCatchesTestLeak) {
+  auto ds = tiny_dataset();
+  ds.test[0] = 0;  // already in train[0]
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(ImplicitDataset, ValidateCatchesOutOfRangeItem) {
+  auto ds = tiny_dataset();
+  ds.train[1] = {2, 3, 99};
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(ImplicitDataset, ValidateCatchesBadCategory) {
+  auto ds = tiny_dataset();
+  ds.item_category[0] = 99;
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(ImplicitDataset, ValidateCatchesMinInteractions) {
+  const auto ds = tiny_dataset();
+  EXPECT_THROW(ds.validate(3), std::logic_error);  // user 0 has only 2
+}
+
+TEST(ImplicitDataset, ValidateCatchesSizeMismatch) {
+  auto ds = tiny_dataset();
+  ds.num_users = 4;
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(DatasetStats, ComputesAggregates) {
+  const auto ds = tiny_dataset();
+  const auto stats = data::compute_stats(ds);
+  EXPECT_EQ(stats.num_users, 3);
+  EXPECT_EQ(stats.num_items, 5);
+  EXPECT_EQ(stats.num_feedback, 10);
+  EXPECT_NEAR(stats.density, 10.0 / 15.0, 1e-9);
+  EXPECT_NEAR(stats.mean_interactions_per_user, 10.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.items_per_category[0], 2);
+  EXPECT_EQ(stats.items_per_category[1], 2);
+  EXPECT_EQ(stats.items_per_category[2], 1);
+  // Train interactions per category: items {0,4} cat0 seen 4 times total.
+  EXPECT_EQ(stats.feedback_per_category[0], 4);
+}
+
+}  // namespace
+}  // namespace taamr

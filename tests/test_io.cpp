@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/io.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(Io, ScalarRoundtrip) {
+  std::stringstream ss;
+  io::write_u32(ss, 0xdeadbeefu);
+  io::write_u64(ss, 0x0123456789abcdefULL);
+  io::write_f32(ss, -2.5f);
+  EXPECT_EQ(io::read_u32(ss), 0xdeadbeefu);
+  EXPECT_EQ(io::read_u64(ss), 0x0123456789abcdefULL);
+  EXPECT_EQ(io::read_f32(ss), -2.5f);
+}
+
+TEST(Io, StringRoundtrip) {
+  std::stringstream ss;
+  io::write_string(ss, "hello taamr");
+  io::write_string(ss, "");
+  EXPECT_EQ(io::read_string(ss), "hello taamr");
+  EXPECT_EQ(io::read_string(ss), "");
+}
+
+TEST(Io, VectorRoundtrip) {
+  std::stringstream ss;
+  const std::vector<float> f = {1.0f, -2.0f, 3.5f};
+  const std::vector<std::int64_t> i = {-7, 0, 1LL << 40};
+  io::write_f32_vector(ss, f);
+  io::write_i64_vector(ss, i);
+  EXPECT_EQ(io::read_f32_vector(ss), f);
+  EXPECT_EQ(io::read_i64_vector(ss), i);
+}
+
+TEST(Io, EmptyVectorRoundtrip) {
+  std::stringstream ss;
+  io::write_f32_vector(ss, {});
+  EXPECT_TRUE(io::read_f32_vector(ss).empty());
+}
+
+TEST(Io, MagicRoundtrip) {
+  std::stringstream ss;
+  io::write_magic(ss, 0x41424344u, 3);
+  EXPECT_EQ(io::read_magic(ss, 0x41424344u), 3u);
+}
+
+TEST(Io, MagicMismatchThrows) {
+  std::stringstream ss;
+  io::write_magic(ss, 0x11111111u, 1);
+  EXPECT_THROW(io::read_magic(ss, 0x22222222u), std::runtime_error);
+}
+
+TEST(Io, TruncatedStreamThrows) {
+  std::stringstream ss;
+  io::write_u32(ss, 5);
+  (void)io::read_u32(ss);
+  EXPECT_THROW(io::read_u32(ss), std::runtime_error);
+}
+
+TEST(Io, ImplausibleLengthRejected) {
+  std::stringstream ss;
+  io::write_u64(ss, 1ULL << 60);  // absurd element count
+  EXPECT_THROW(io::read_f32_vector(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace taamr

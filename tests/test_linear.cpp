@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+using testing::check_input_gradient;
+using testing::check_param_gradient;
+using testing::fill_uniform;
+
+TEST(Linear, ForwardKnownValues) {
+  nn::Linear layer(2, 3);
+  layer.weight().value = Tensor({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 1});
+  layer.bias().value = Tensor({3}, std::vector<float>{0.5f, -0.5f, 0});
+  Tensor x({1, 2}, std::vector<float>{2, 3});
+  const Tensor y = layer.forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{1, 3}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 5.0f);
+}
+
+TEST(Linear, ForwardBatch) {
+  nn::Linear layer(2, 1);
+  layer.weight().value = Tensor({1, 2}, std::vector<float>{2, -1});
+  Tensor x({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 1});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), -1.0f);
+  EXPECT_FLOAT_EQ(y.at(2, 0), 1.0f);
+}
+
+TEST(Linear, RejectsBadShapes) {
+  nn::Linear layer(4, 2);
+  EXPECT_THROW(layer.forward(Tensor({2, 3}), true), std::invalid_argument);
+  EXPECT_THROW(layer.forward(Tensor({8}), true), std::invalid_argument);
+  EXPECT_THROW(nn::Linear(0, 1), std::invalid_argument);
+}
+
+TEST(Linear, BackwardGradShapeMustMatch) {
+  nn::Linear layer(3, 2);
+  Rng rng(1);
+  Tensor x({2, 3});
+  fill_uniform(x, rng);
+  layer.forward(x, true);
+  EXPECT_THROW(layer.backward(Tensor({2, 3})), std::invalid_argument);
+  EXPECT_THROW(layer.backward(Tensor({3, 2})), std::invalid_argument);
+}
+
+TEST(Linear, InputGradientMatchesFiniteDifference) {
+  Rng rng(2);
+  nn::Linear layer(4, 3);
+  fill_uniform(layer.weight().value, rng);
+  fill_uniform(layer.bias().value, rng);
+  Tensor x({2, 4});
+  fill_uniform(x, rng);
+  check_input_gradient(layer, x, rng);
+}
+
+TEST(Linear, WeightGradientMatchesFiniteDifference) {
+  Rng rng(3);
+  nn::Linear layer(3, 2);
+  fill_uniform(layer.weight().value, rng);
+  Tensor x({2, 3});
+  fill_uniform(x, rng);
+  check_param_gradient(layer, x, layer.weight(), rng);
+}
+
+TEST(Linear, BiasGradientMatchesFiniteDifference) {
+  Rng rng(4);
+  nn::Linear layer(3, 2);
+  fill_uniform(layer.weight().value, rng);
+  Tensor x({2, 3});
+  fill_uniform(x, rng);
+  check_param_gradient(layer, x, layer.bias(), rng);
+}
+
+TEST(Linear, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(5);
+  nn::Linear layer(2, 2);
+  fill_uniform(layer.weight().value, rng);
+  Tensor x({1, 2});
+  fill_uniform(x, rng);
+  Tensor g({1, 2}, 1.0f);
+  layer.forward(x, true);
+  layer.backward(g);
+  const Tensor once = layer.weight().grad;
+  layer.forward(x, true);
+  layer.backward(g);
+  for (std::int64_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(layer.weight().grad[i], 2.0f * once[i], 1e-5f);
+  }
+  layer.zero_grad();
+  EXPECT_EQ(layer.weight().grad[0], 0.0f);
+}
+
+TEST(Linear, NoBiasVariant) {
+  nn::Linear layer(2, 2, /*bias=*/false);
+  EXPECT_EQ(layer.params().size(), 1u);
+  Tensor x({1, 2}, std::vector<float>{1, 1});
+  layer.weight().value = Tensor({2, 2}, std::vector<float>{1, 1, 2, 2});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 4.0f);
+}
+
+TEST(Linear, CloneIsIndependent) {
+  Rng rng(6);
+  nn::Linear layer(2, 2);
+  fill_uniform(layer.weight().value, rng);
+  auto copy = layer.clone();
+  auto* copy_linear = dynamic_cast<nn::Linear*>(copy.get());
+  ASSERT_NE(copy_linear, nullptr);
+  copy_linear->weight().value[0] += 10.0f;
+  EXPECT_NE(copy_linear->weight().value[0], layer.weight().value[0]);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  nn::SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4}, 0.0f);
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsNearZero) {
+  nn::SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, std::vector<float>{20.0f, 0.0f, 0.0f});
+  EXPECT_LT(loss.forward(logits, {0}), 1e-3f);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentWrongIsLarge) {
+  nn::SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, std::vector<float>{20.0f, 0.0f, 0.0f});
+  EXPECT_GT(loss.forward(logits, {1}), 10.0f);
+}
+
+TEST(SoftmaxCrossEntropy, BackwardIsProbsMinusOnehotOverN) {
+  nn::SoftmaxCrossEntropy loss;
+  Tensor logits({2, 2}, std::vector<float>{0, 0, 0, 0});
+  loss.forward(logits, {0, 1});
+  const Tensor g = loss.backward();
+  EXPECT_NEAR(g.at(0, 0), (0.5f - 1.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(g.at(0, 1), 0.5f / 2.0f, 1e-6f);
+  EXPECT_NEAR(g.at(1, 1), (0.5f - 1.0f) / 2.0f, 1e-6f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(61);
+  Tensor logits({3, 5});
+  testing::fill_uniform(logits, rng, -2.0f, 2.0f);
+  const std::vector<std::int64_t> labels = {1, 4, 0};
+  nn::SoftmaxCrossEntropy loss;
+  loss.forward(logits, labels);
+  const Tensor analytic = loss.backward();
+  const float h = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor up = logits, down = logits;
+    up[i] += h;
+    down[i] -= h;
+    nn::SoftmaxCrossEntropy l2;
+    const float numeric = (l2.forward(up, labels) - l2.forward(down, labels)) / (2 * h);
+    EXPECT_NEAR(analytic[i], numeric, 1e-3f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  Rng rng(62);
+  Tensor logits({4, 6});
+  testing::fill_uniform(logits, rng, -3.0f, 3.0f);
+  nn::SoftmaxCrossEntropy loss;
+  loss.forward(logits, {0, 1, 2, 3});
+  const Tensor g = loss.backward();
+  for (std::int64_t r = 0; r < 4; ++r) {
+    float row = 0.0f;
+    for (std::int64_t c = 0; c < 6; ++c) row += g.at(r, c);
+    EXPECT_NEAR(row, 0.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ValidatesInput) {
+  nn::SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.forward(Tensor({2, 3}), {0}), std::invalid_argument);
+  EXPECT_THROW(loss.forward(Tensor({1, 3}), {3}), std::invalid_argument);
+  EXPECT_THROW(loss.forward(Tensor({1, 3}), {-1}), std::invalid_argument);
+  EXPECT_THROW(loss.forward(Tensor({6}), {0}), std::invalid_argument);
+  nn::SoftmaxCrossEntropy fresh;
+  EXPECT_THROW(fresh.backward(), std::logic_error);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits({3, 2}, std::vector<float>{2, 1, 0, 5, 1, 1});
+  // predictions: 0, 1, 0 (tie -> first)
+  EXPECT_NEAR(nn::accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(nn::accuracy(logits, {0, 1, 0}), 1.0, 1e-9);
+  EXPECT_THROW(nn::accuracy(logits, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "data/amazon_synth.hpp"
+#include "data/categories.hpp"
+#include "metrics/chr.hpp"
+#include "recsys/mostpop.hpp"
+#include "recsys/ranker.hpp"
+#include "recsys/trainer.hpp"
+
+namespace taamr {
+namespace {
+
+data::ImplicitDataset make_dataset() {
+  return data::generate_synthetic_dataset(data::amazon_men_spec(data::kTestScale));
+}
+
+TEST(MostPop, ScoresEqualTrainCounts) {
+  const auto ds = make_dataset();
+  recsys::MostPop model(ds);
+  const auto counts = ds.item_train_counts();
+  for (std::int32_t i = 0; i < ds.num_items; i += 7) {
+    EXPECT_EQ(model.score(0, i), static_cast<float>(counts[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(MostPop, IdenticalForAllUsers) {
+  const auto ds = make_dataset();
+  recsys::MostPop model(ds);
+  std::vector<float> a(static_cast<std::size_t>(ds.num_items));
+  std::vector<float> b(static_cast<std::size_t>(ds.num_items));
+  model.score_all(0, a);
+  model.score_all(ds.num_users - 1, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MostPop, BeatsRandomOnHeldOut) {
+  const auto ds = make_dataset();
+  recsys::MostPop model(ds);
+  Rng rng(3);
+  EXPECT_GT(recsys::sampled_auc(model, ds, rng, 30), 0.55);
+}
+
+TEST(MostPop, TopListsFavorPopularCategories) {
+  const auto ds = make_dataset();
+  recsys::MostPop model(ds);
+  const auto lists = recsys::top_n_lists(model, ds, 20);
+  const auto chr = metrics::category_hit_ratio_all(lists, ds, 20);
+  // The heavily weighted category must out-rank the rare one.
+  EXPECT_GT(chr[data::kRunningShoe], chr[data::kSock]);
+}
+
+TEST(MostPop, ValidatesOutputSize) {
+  const auto ds = make_dataset();
+  recsys::MostPop model(ds);
+  std::vector<float> wrong(3);
+  EXPECT_THROW(model.score_all(0, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace taamr {
+namespace {
+
+using testing::fill_uniform;
+
+TEST(Ops, ElementwiseAddSubMul) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  EXPECT_EQ(ops::add(a, b)[1], 7.0f);
+  EXPECT_EQ(ops::sub(a, b)[2], -3.0f);
+  EXPECT_EQ(ops::mul(a, b)[0], 4.0f);
+  EXPECT_THROW(ops::add(a, Tensor({4})), std::invalid_argument);
+}
+
+TEST(Ops, ScalarOps) {
+  Tensor a({2}, std::vector<float>{1, -2});
+  EXPECT_EQ(ops::scale(a, 3.0f)[1], -6.0f);
+  EXPECT_EQ(ops::add_scalar(a, 0.5f)[0], 1.5f);
+}
+
+TEST(Ops, AxpyInplace) {
+  Tensor a({2}, std::vector<float>{1, 1});
+  Tensor b({2}, std::vector<float>{2, -4});
+  ops::axpy_inplace(a, 0.5f, b);
+  EXPECT_EQ(a[0], 2.0f);
+  EXPECT_EQ(a[1], -1.0f);
+}
+
+TEST(Ops, ApplyAndClamp) {
+  Tensor a({3}, std::vector<float>{-2, 0.5f, 9});
+  const Tensor sq = ops::apply(a, [](float v) { return v * v; });
+  EXPECT_EQ(sq[0], 4.0f);
+  const Tensor c = ops::clamp(a, -1.0f, 1.0f);
+  EXPECT_EQ(c[0], -1.0f);
+  EXPECT_EQ(c[1], 0.5f);
+  EXPECT_EQ(c[2], 1.0f);
+  Tensor d = a;
+  EXPECT_THROW(ops::clamp_inplace(d, 2.0f, 1.0f), std::invalid_argument);
+}
+
+TEST(Ops, Sign) {
+  Tensor a({4}, std::vector<float>{-3, 0, 0.1f, 7});
+  const Tensor s = ops::sign(a);
+  EXPECT_EQ(s[0], -1.0f);
+  EXPECT_EQ(s[1], 0.0f);
+  EXPECT_EQ(s[2], 1.0f);
+  EXPECT_EQ(s[3], 1.0f);
+}
+
+TEST(Ops, MatmulSmallKnown) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+// Reference triple loop to validate the blocked kernel and transposes.
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const std::int64_t m = ta ? a.dim(1) : a.dim(0);
+  const std::int64_t k = ta ? a.dim(0) : a.dim(1);
+  const std::int64_t n = tb ? b.dim(0) : b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+class MatmulTranspose : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(MatmulTranspose, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(7);
+  // Sizes larger than the 64-wide block to exercise blocking boundaries.
+  const std::int64_t m = 70, k = 65, n = 67;
+  Tensor a(ta ? Shape{k, m} : Shape{m, k});
+  Tensor b(tb ? Shape{n, k} : Shape{k, n});
+  fill_uniform(a, rng);
+  fill_uniform(b, rng);
+  const Tensor got = ops::matmul(a, b, ta, tb);
+  const Tensor want = naive_matmul(a, b, ta, tb);
+  testing::expect_tensor_near(got, want, 1e-3f, "matmul");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, MatmulTranspose,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+TEST(Ops, MatmulShapeErrors) {
+  EXPECT_THROW(ops::matmul(Tensor({2, 3}), Tensor({4, 2})), std::invalid_argument);
+  EXPECT_THROW(ops::matmul(Tensor({6}), Tensor({2, 3})), std::invalid_argument);
+}
+
+TEST(Ops, MatmulAccumulateAddsIntoC) {
+  Tensor a({1, 2}, std::vector<float>{1, 1});
+  Tensor b({2, 1}, std::vector<float>{2, 3});
+  Tensor c({1, 1}, std::vector<float>{10});
+  ops::matmul_accumulate(c, a, b);
+  EXPECT_EQ(c[0], 15.0f);
+  Tensor wrong({2, 2});
+  EXPECT_THROW(ops::matmul_accumulate(wrong, a, b), std::invalid_argument);
+}
+
+TEST(Ops, Matvec) {
+  Tensor a({2, 3}, std::vector<float>{1, 0, 2, 0, 1, -1});
+  Tensor x({3}, std::vector<float>{1, 2, 3});
+  const Tensor y = ops::matvec(a, x);
+  EXPECT_EQ(y[0], 7.0f);
+  EXPECT_EQ(y[1], -1.0f);
+  EXPECT_THROW(ops::matvec(a, Tensor({2})), std::invalid_argument);
+}
+
+TEST(Ops, Reductions) {
+  Tensor a({4}, std::vector<float>{1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(ops::sum(a), -2.0f);
+  EXPECT_FLOAT_EQ(ops::mean(a), -0.5f);
+  EXPECT_FLOAT_EQ(ops::max_abs(a), 4.0f);
+  EXPECT_FLOAT_EQ(ops::min(a), -4.0f);
+  EXPECT_FLOAT_EQ(ops::max(a), 3.0f);
+  EXPECT_THROW(ops::mean(Tensor()), std::invalid_argument);
+}
+
+TEST(Ops, DotNormDistance) {
+  Tensor a({3}, std::vector<float>{1, 2, 2});
+  Tensor b({3}, std::vector<float>{1, 0, 0});
+  EXPECT_FLOAT_EQ(ops::dot(a, b), 1.0f);
+  EXPECT_FLOAT_EQ(ops::l2_norm(a), 3.0f);
+  EXPECT_FLOAT_EQ(ops::squared_distance(a, b), 8.0f);
+  EXPECT_FLOAT_EQ(ops::linf_distance(a, b), 2.0f);
+}
+
+TEST(Ops, Argmax) {
+  Tensor a({4}, std::vector<float>{1, 5, 5, 2});
+  EXPECT_EQ(ops::argmax(a), 1);  // first on ties
+  Tensor m({2, 3}, std::vector<float>{0, 9, 1, 4, 2, 3});
+  const auto rows = ops::argmax_rows(m);
+  EXPECT_EQ(rows[0], 1);
+  EXPECT_EQ(rows[1], 0);
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrder) {
+  Tensor logits({2, 3}, std::vector<float>{1, 2, 3, -1, -1, -1});
+  const Tensor p = ops::softmax_rows(logits);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    float row_sum = 0.0f;
+    for (std::int64_t c = 0; c < 3; ++c) row_sum += p.at(r, c);
+    EXPECT_NEAR(row_sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 1));
+  EXPECT_NEAR(p.at(1, 0), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(Ops, SoftmaxNumericallyStable) {
+  Tensor logits({1, 2}, std::vector<float>{1000.0f, 999.0f});
+  const Tensor p = ops::softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0f, 1e-5f);
+  EXPECT_GT(p.at(0, 0), p.at(0, 1));
+}
+
+}  // namespace
+}  // namespace taamr

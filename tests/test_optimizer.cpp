@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(Sgd, VanillaStepDescendsGradient) {
+  nn::Param p("w", Tensor({2}, std::vector<float>{1.0f, -1.0f}));
+  p.grad = Tensor({2}, std::vector<float>{0.5f, -0.5f});
+  nn::Sgd opt({.learning_rate = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 0.95f, 1e-6f);
+  EXPECT_NEAR(p.value[1], -0.95f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  nn::Param p("w", Tensor({1}, std::vector<float>{2.0f}));
+  p.grad.fill(0.0f);
+  nn::Sgd opt({.learning_rate = 0.5f, .momentum = 0.0f, .weight_decay = 0.1f});
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 2.0f - 0.5f * 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  nn::Param p("w", Tensor({1}, std::vector<float>{0.0f}));
+  nn::Sgd opt({.learning_rate = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  p.grad = Tensor({1}, std::vector<float>{1.0f});
+  opt.step({&p});  // v = -1, w = -1
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6f);
+  p.grad = Tensor({1}, std::vector<float>{1.0f});
+  opt.step({&p});  // v = -0.5 - 1 = -1.5, w = -2.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6f);
+}
+
+TEST(Sgd, SkipsNonTrainableBuffers) {
+  nn::Param buffer("running_mean", Tensor({1}, std::vector<float>{3.0f}));
+  buffer.trainable = false;
+  buffer.grad = Tensor({1}, std::vector<float>{100.0f});
+  nn::Sgd opt({.learning_rate = 1.0f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.step({&buffer});
+  EXPECT_EQ(buffer.value[0], 3.0f);
+}
+
+TEST(Sgd, LearningRateCanBeRescheduled) {
+  nn::Sgd opt({.learning_rate = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f});
+  opt.set_learning_rate(0.01f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.01f);
+}
+
+TEST(Sgd, MomentumBufferLazilyAllocated) {
+  nn::Param p("w", Tensor({3}, 1.0f));
+  p.grad.fill(1.0f);
+  EXPECT_EQ(p.momentum.numel(), 0);
+  nn::Sgd opt({.learning_rate = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f});
+  opt.step({&p});
+  EXPECT_EQ(p.momentum.numel(), 3);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "data/categories.hpp"
+#include "metrics/chr.hpp"
+#include "recsys/ranker.hpp"
+#include "tensor/ops.hpp"
+
+namespace taamr {
+namespace {
+
+// Micro-scale pipeline configuration: everything runs, nothing is big.
+core::PipelineConfig micro_config(const std::string& dataset = "Amazon Men") {
+  core::PipelineConfig cfg;
+  cfg.dataset_name = dataset;
+  cfg.scale = data::kTestScale;
+  cfg.seed = 7;
+  cfg.image_size = 16;
+  cfg.cnn_base_width = 6;
+  cfg.cnn_blocks_per_stage = 1;
+  cfg.cnn_epochs = 18;
+  cfg.cnn_images_per_category = 14;
+  cfg.cnn_batch_size = 16;
+  cfg.vbpr.epochs = 25;
+  cfg.amr_warm_epochs = 12;
+  cfg.amr_adversarial_epochs = 12;
+  cfg.top_n = 20;
+  return cfg;
+}
+
+// Shared prepared pipeline (CNN training is the expensive part).
+core::Pipeline& shared_pipeline() {
+  static core::Pipeline pipeline = [] {
+    core::Pipeline p(micro_config());
+    p.prepare();
+    return p;
+  }();
+  return pipeline;
+}
+
+TEST(PipelineIntegration, PrepareProducesConsistentArtifacts) {
+  core::Pipeline& p = shared_pipeline();
+  EXPECT_EQ(p.dataset().name, "Amazon Men");
+  EXPECT_EQ(p.catalog().num_items(), p.dataset().num_items);
+  EXPECT_EQ(p.clean_features().dim(0), p.dataset().num_items);
+  EXPECT_EQ(p.clean_features().dim(1), p.classifier().feature_dim());
+  // The CNN must have learned the taxonomy reasonably well even at micro
+  // scale — the procedural categories are separable.
+  EXPECT_GT(p.classifier_accuracy(), 0.6);
+}
+
+TEST(PipelineIntegration, FeaturesSeparateCategories) {
+  core::Pipeline& p = shared_pipeline();
+  const auto& ds = p.dataset();
+  const Tensor& f = p.clean_features();
+  const std::int64_t d = f.dim(1);
+  // Mean within-category feature distance < mean cross-category distance.
+  const auto socks = ds.items_of_category(data::kSock);
+  const auto clocks = ds.items_of_category(data::kAnalogClock);
+  ASSERT_GE(socks.size(), 2u);
+  ASSERT_GE(clocks.size(), 1u);
+  auto row_dist = [&](std::int32_t a, std::int32_t b) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const double diff = f.at(a, j) - f.at(b, j);
+      acc += diff * diff;
+    }
+    return acc;
+  };
+  EXPECT_LT(row_dist(socks[0], socks[1]), row_dist(socks[0], clocks[0]));
+}
+
+TEST(PipelineIntegration, AttackCategoryRespectsThreatModel) {
+  core::Pipeline& p = shared_pipeline();
+  const auto batch = p.attack_category(data::kSock, data::kRunningShoe,
+                                       attack::AttackKind::kPgd, 8.0f);
+  EXPECT_FALSE(batch.items.empty());
+  EXPECT_EQ(batch.clean_images.shape(), batch.attacked_images.shape());
+  EXPECT_LE(ops::linf_distance(batch.attacked_images, batch.clean_images),
+            8.0f / 255.0f + 1e-5f);
+  EXPECT_GE(ops::min(batch.attacked_images), 0.0f);
+  EXPECT_LE(ops::max(batch.attacked_images), 1.0f);
+  for (std::int32_t item : batch.items) {
+    EXPECT_EQ(p.dataset().item_category[static_cast<std::size_t>(item)], data::kSock);
+  }
+}
+
+TEST(PipelineIntegration, FeaturesWithAttackOnlyChangesAttackedRows) {
+  core::Pipeline& p = shared_pipeline();
+  const auto batch = p.attack_category(data::kSock, data::kRunningShoe,
+                                       attack::AttackKind::kFgsm, 8.0f);
+  const Tensor merged = p.features_with_attack(batch.items, batch.attacked_images);
+  ASSERT_EQ(merged.shape(), p.clean_features().shape());
+  const std::int64_t d = merged.dim(1);
+  std::set<std::int32_t> attacked(batch.items.begin(), batch.items.end());
+  for (std::int64_t i = 0; i < merged.dim(0); ++i) {
+    double diff = 0.0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      diff += std::abs(merged.at(i, j) - p.clean_features().at(i, j));
+    }
+    if (attacked.count(static_cast<std::int32_t>(i))) {
+      EXPECT_GT(diff, 0.0) << "attacked item " << i << " kept clean features";
+    } else {
+      EXPECT_EQ(diff, 0.0) << "clean item " << i << " was modified";
+    }
+  }
+}
+
+TEST(PipelineIntegration, VbprAttackShiftsSourceCategoryChr) {
+  core::Pipeline& p = shared_pipeline();
+  auto vbpr = p.train_vbpr();
+  const auto& ds = p.dataset();
+  const std::int64_t top_n = 20;
+
+  const auto lists_before = recsys::top_n_lists(*vbpr, ds, top_n);
+  const double chr_before =
+      metrics::category_hit_ratio(lists_before, ds, data::kSock, top_n);
+
+  const auto batch = p.attack_category(data::kSock, data::kRunningShoe,
+                                       attack::AttackKind::kPgd, 16.0f);
+  vbpr->set_item_features(p.features_with_attack(batch.items, batch.attacked_images));
+  const auto lists_after = recsys::top_n_lists(*vbpr, ds, top_n);
+  const double chr_after =
+      metrics::category_hit_ratio(lists_after, ds, data::kSock, top_n);
+  vbpr->set_item_features(p.clean_features());
+
+  // The attack must move the metric; at micro scale we only assert change,
+  // the directional claim is asserted by the bench-scale experiments.
+  EXPECT_NE(chr_before, chr_after);
+}
+
+TEST(PipelineIntegration, PrepareIsIdempotent) {
+  core::Pipeline& p = shared_pipeline();
+  const Tensor before = p.clean_features();
+  p.prepare();
+  EXPECT_EQ(ops::linf_distance(before, p.clean_features()), 0.0f);
+}
+
+TEST(PipelineIntegration, StagesRequirePrepare) {
+  core::Pipeline fresh(micro_config());
+  EXPECT_THROW(fresh.dataset(), std::logic_error);
+  EXPECT_THROW(fresh.train_vbpr(), std::logic_error);
+  EXPECT_THROW(fresh.attack_category(0, 1, attack::AttackKind::kFgsm, 8.0f),
+               std::logic_error);
+}
+
+TEST(ExperimentIntegration, FullGridProducesAllCells) {
+  core::ExperimentConfig cfg;
+  cfg.pipeline = micro_config();
+  cfg.eps_grid_255 = {4.0f, 16.0f};  // reduced grid keeps the test fast
+  const auto results = core::run_dataset_experiment(cfg);
+
+  // 2 models x 2 scenarios x 2 attacks x 2 eps = 16 cells.
+  EXPECT_EQ(results.cells.size(), 16u);
+  EXPECT_EQ(results.dataset, "Amazon Men");
+  EXPECT_GT(results.vbpr_auc, 0.55);
+  EXPECT_GT(results.amr_auc, 0.55);
+  EXPECT_EQ(results.vbpr_baseline_chr.size(), 16u);
+
+  for (const auto& cell : results.cells) {
+    EXPECT_GE(cell.success_rate, 0.0);
+    EXPECT_LE(cell.success_rate, 1.0);
+    EXPECT_GT(cell.psnr, 20.0);
+    EXPECT_GT(cell.ssim, 0.5);
+    EXPECT_GE(cell.psm, 0.0);
+    EXPECT_GE(cell.chr_after_source, 0.0);
+    EXPECT_LE(cell.chr_after_source, 1.0);
+  }
+
+  // Fig. 2 example filled in.
+  EXPECT_GE(results.fig2.item, 0);
+  EXPECT_GT(results.fig2.target_prob_after, 0.0);
+
+  // Results (de)serialization roundtrip.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "taamr_results_test.bin").string();
+  core::save_results(path, results);
+  const auto restored = core::load_results(path);
+  EXPECT_EQ(restored.cells.size(), results.cells.size());
+  EXPECT_EQ(restored.dataset, results.dataset);
+  EXPECT_NEAR(restored.vbpr_auc, results.vbpr_auc, 1e-5);
+  EXPECT_NEAR(restored.cells[3].chr_after_source, results.cells[3].chr_after_source,
+              1e-5);
+  EXPECT_EQ(restored.fig2.item, results.fig2.item);
+  std::remove(path.c_str());
+
+  // Report rendering over real results.
+  EXPECT_GT(core::table2_chr(results).num_rows(), 4u);
+  EXPECT_GT(core::table3_success(results).num_rows(), 2u);
+  EXPECT_GT(core::table4_visual(results).num_rows(), 3u);
+  EXPECT_FALSE(core::fig2_text(results).empty());
+}
+
+}  // namespace
+}  // namespace taamr

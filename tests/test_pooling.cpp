@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "nn/pooling.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+using testing::check_input_gradient;
+using testing::fill_uniform;
+
+TEST(MaxPool2d, ForwardPicksWindowMax) {
+  nn::MaxPool2d pool(2);
+  Tensor x({1, 1, 4, 4}, std::vector<float>{1, 2, 5, 6,    //
+                                            3, 4, 7, 8,    //
+                                            9, 10, 13, 14, //
+                                            11, 12, 15, 16});
+  const Tensor y = pool.forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(y.at(0, 0, 0, 0), 4.0f);
+  EXPECT_EQ(y.at(0, 0, 0, 1), 8.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 0), 12.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 1), 16.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  nn::MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 9, 3, 2});
+  pool.forward(x, true);
+  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, std::vector<float>{7}));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 7.0f);
+  EXPECT_EQ(g[2], 0.0f);
+  EXPECT_EQ(g[3], 0.0f);
+}
+
+TEST(MaxPool2d, GradientCheck) {
+  Rng rng(41);
+  nn::MaxPool2d pool(2);
+  Tensor x({2, 2, 4, 4});
+  fill_uniform(x, rng);  // distinct values almost surely -> smooth locally
+  check_input_gradient(pool, x, rng);
+}
+
+TEST(MaxPool2d, RejectsIndivisibleDims) {
+  nn::MaxPool2d pool(2);
+  EXPECT_THROW(pool.forward(Tensor({1, 1, 3, 4}), true), std::invalid_argument);
+  EXPECT_THROW(pool.forward(Tensor({1, 3, 4}), true), std::invalid_argument);
+  EXPECT_THROW(pool.backward(Tensor({1, 1, 2, 2})), std::logic_error);
+}
+
+TEST(GlobalAvgPool2d, ForwardAverages) {
+  nn::GlobalAvgPool2d gap;
+  Tensor x({1, 2, 2, 2}, std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor y = gap.forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 25.0f);
+}
+
+TEST(GlobalAvgPool2d, BackwardSpreadsUniformly) {
+  nn::GlobalAvgPool2d gap;
+  Tensor x({1, 1, 2, 2});
+  gap.forward(x, true);
+  const Tensor g = gap.backward(Tensor({1, 1}, std::vector<float>{8}));
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 2.0f);
+}
+
+TEST(GlobalAvgPool2d, GradientCheck) {
+  Rng rng(42);
+  nn::GlobalAvgPool2d gap;
+  Tensor x({2, 3, 3, 3});
+  fill_uniform(x, rng);
+  check_input_gradient(gap, x, rng);
+}
+
+TEST(Flatten, RoundtripShapes) {
+  nn::Flatten flat;
+  Tensor x({2, 3, 4, 5});
+  const Tensor y = flat.forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{2, 60}));
+  const Tensor g = flat.backward(Tensor({2, 60}, 1.0f));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(Flatten, DataIsUntouched) {
+  nn::Flatten flat;
+  Tensor x({1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor y = flat.forward(x, true);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Pooling, CloneIndependence) {
+  nn::MaxPool2d pool(2);
+  auto copy = pool.clone();
+  EXPECT_EQ(copy->name(), "MaxPool2d(2)");
+}
+
+}  // namespace
+}  // namespace taamr

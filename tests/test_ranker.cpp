@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "recsys/ranker.hpp"
+
+namespace taamr {
+namespace {
+
+// Deterministic mock: score(u, i) = fixed per-item value + small user shift.
+class MockRecommender : public recsys::Recommender {
+ public:
+  MockRecommender(std::int64_t users, std::vector<float> item_scores)
+      : users_(users), scores_(std::move(item_scores)) {}
+
+  std::int64_t num_users() const override { return users_; }
+  std::int64_t num_items() const override {
+    return static_cast<std::int64_t>(scores_.size());
+  }
+  float score(std::int64_t /*user*/, std::int32_t item) const override {
+    return scores_[static_cast<std::size_t>(item)];
+  }
+  void score_all(std::int64_t user, std::span<float> out) const override {
+    for (std::size_t i = 0; i < scores_.size(); ++i) {
+      out[i] = score(static_cast<std::int64_t>(user), static_cast<std::int32_t>(i));
+    }
+  }
+  std::string name() const override { return "mock"; }
+
+ private:
+  std::int64_t users_;
+  std::vector<float> scores_;
+};
+
+data::ImplicitDataset two_user_dataset() {
+  data::ImplicitDataset ds;
+  ds.name = "mock";
+  ds.num_users = 2;
+  ds.num_items = 5;
+  ds.item_category = {0, 0, 1, 1, 2};
+  ds.item_image_seed = {0, 1, 2, 3, 4};
+  ds.train = {{0}, {4}};
+  ds.test = {1, -1};
+  return ds;
+}
+
+TEST(Ranker, TopNOrdersByScore) {
+  const auto ds = two_user_dataset();
+  MockRecommender model(2, {0.1f, 0.9f, 0.5f, 0.7f, 0.3f});
+  const auto lists = recsys::top_n_lists(model, ds, 3, /*exclude_train=*/false);
+  ASSERT_EQ(lists.size(), 2u);
+  EXPECT_EQ(lists[0], (std::vector<std::int32_t>{1, 3, 2}));
+}
+
+TEST(Ranker, ExcludesTrainingItems) {
+  const auto ds = two_user_dataset();
+  MockRecommender model(2, {0.95f, 0.9f, 0.5f, 0.7f, 0.99f});
+  const auto lists = recsys::top_n_lists(model, ds, 3);
+  // User 0 trained on item 0 (score 0.95): excluded.
+  EXPECT_EQ(lists[0], (std::vector<std::int32_t>{4, 1, 3}));
+  // User 1 trained on item 4 (score 0.99): excluded.
+  EXPECT_EQ(lists[1], (std::vector<std::int32_t>{0, 1, 3}));
+}
+
+TEST(Ranker, NLargerThanCatalogIsClamped) {
+  const auto ds = two_user_dataset();
+  MockRecommender model(2, {5, 4, 3, 2, 1});
+  const auto lists = recsys::top_n_lists(model, ds, 100, false);
+  EXPECT_EQ(lists[0].size(), 5u);
+}
+
+TEST(Ranker, DeterministicTieBreakByItemId) {
+  const auto ds = two_user_dataset();
+  MockRecommender model(2, {1, 1, 1, 1, 1});
+  const auto lists = recsys::top_n_lists(model, ds, 5, false);
+  EXPECT_EQ(lists[0], (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Ranker, ValidatesArguments) {
+  const auto ds = two_user_dataset();
+  MockRecommender model(2, {1, 2, 3, 4, 5});
+  EXPECT_THROW(recsys::top_n_lists(model, ds, 0), std::invalid_argument);
+  MockRecommender wrong_size(2, {1, 2, 3});
+  EXPECT_THROW(recsys::top_n_lists(wrong_size, ds, 2), std::invalid_argument);
+}
+
+TEST(Ranker, ItemRankCountsStrictlyBetter) {
+  const auto ds = two_user_dataset();
+  MockRecommender model(2, {0.1f, 0.9f, 0.5f, 0.7f, 0.3f});
+  // User 0, excluding train item 0: order is 1 (0.9), 3 (0.7), 2 (0.5), 4 (0.3).
+  EXPECT_EQ(recsys::item_rank(model, ds, 0, 1), 1);
+  EXPECT_EQ(recsys::item_rank(model, ds, 0, 3), 2);
+  EXPECT_EQ(recsys::item_rank(model, ds, 0, 4), 4);
+  // Training items have no rank.
+  EXPECT_EQ(recsys::item_rank(model, ds, 0, 0), -1);
+  EXPECT_THROW(recsys::item_rank(model, ds, 0, 99), std::invalid_argument);
+}
+
+TEST(Ranker, ItemRankConsistentWithTopN) {
+  const auto ds = two_user_dataset();
+  MockRecommender model(2, {0.2f, 0.8f, 0.6f, 0.4f, 0.1f});
+  const auto lists = recsys::top_n_lists(model, ds, 4);
+  for (std::size_t pos = 0; pos < lists[0].size(); ++pos) {
+    EXPECT_EQ(recsys::item_rank(model, ds, 0, lists[0][pos]),
+              static_cast<std::int64_t>(pos + 1));
+  }
+}
+
+}  // namespace
+}  // namespace taamr

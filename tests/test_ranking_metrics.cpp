@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/ranking.hpp"
+
+namespace taamr {
+namespace {
+
+data::ImplicitDataset make_dataset() {
+  data::ImplicitDataset ds;
+  ds.name = "ranking";
+  ds.num_users = 3;
+  ds.num_items = 6;
+  ds.item_category = {0, 0, 0, 0, 0, 0};
+  ds.item_image_seed = {0, 1, 2, 3, 4, 5};
+  ds.train = {{0}, {1}, {2}};
+  ds.test = {3, 4, -1};  // user 2 has no test item
+  return ds;
+}
+
+TEST(RankingMetrics, HitRatioCountsTestHits) {
+  const auto ds = make_dataset();
+  // User 0's list contains test item 3, user 1's does not; user 2 skipped.
+  const std::vector<std::vector<std::int32_t>> lists = {{3, 5}, {0, 5}, {1, 3}};
+  EXPECT_NEAR(metrics::hit_ratio_at_n(lists, ds), 0.5, 1e-9);
+}
+
+TEST(RankingMetrics, HitRatioPerfectAndZero) {
+  const auto ds = make_dataset();
+  const std::vector<std::vector<std::int32_t>> hits = {{3}, {4}, {}};
+  EXPECT_NEAR(metrics::hit_ratio_at_n(hits, ds), 1.0, 1e-9);
+  const std::vector<std::vector<std::int32_t>> misses = {{1}, {1}, {}};
+  EXPECT_NEAR(metrics::hit_ratio_at_n(misses, ds), 0.0, 1e-9);
+}
+
+TEST(RankingMetrics, NdcgDiscountsByPosition) {
+  const auto ds = make_dataset();
+  // User 0 hits at position 1 (dcg 1), user 1 at position 2 (dcg 1/log2(3)).
+  const std::vector<std::vector<std::int32_t>> lists = {{3, 0}, {0, 4}, {}};
+  const double expected = (1.0 + 1.0 / std::log2(3.0)) / 2.0;
+  EXPECT_NEAR(metrics::ndcg_at_n(lists, ds), expected, 1e-9);
+}
+
+TEST(RankingMetrics, NdcgZeroWhenNoHits) {
+  const auto ds = make_dataset();
+  const std::vector<std::vector<std::int32_t>> lists = {{0}, {0}, {}};
+  EXPECT_EQ(metrics::ndcg_at_n(lists, ds), 0.0);
+}
+
+TEST(RankingMetrics, ValidatesListCount) {
+  const auto ds = make_dataset();
+  const std::vector<std::vector<std::int32_t>> lists = {{0}};
+  EXPECT_THROW(metrics::hit_ratio_at_n(lists, ds), std::invalid_argument);
+  EXPECT_THROW(metrics::ndcg_at_n(lists, ds), std::invalid_argument);
+}
+
+TEST(RankingMetrics, NdcgNeverExceedsHitRatio) {
+  const auto ds = make_dataset();
+  const std::vector<std::vector<std::int32_t>> lists = {{0, 3}, {4, 0}, {}};
+  EXPECT_LE(metrics::ndcg_at_n(lists, ds), metrics::hit_ratio_at_n(lists, ds) + 1e-12);
+}
+
+}  // namespace
+}  // namespace taamr

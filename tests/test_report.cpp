@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "data/categories.hpp"
+
+namespace taamr {
+namespace {
+
+core::DatasetResults fake_results() {
+  core::DatasetResults r;
+  r.dataset = "Amazon Men";
+  r.scale = 0.01;
+  r.top_n = 100;
+  r.classifier_accuracy = 0.97;
+  r.stats.num_users = 260;
+  r.stats.num_items = 820;
+  r.stats.num_feedback = 1930;
+  r.stats.items_per_category.assign(16, 50);
+  r.stats.feedback_per_category.assign(16, 120);
+  r.vbpr_auc = 0.8;
+  r.amr_auc = 0.78;
+  r.vbpr_baseline_chr.assign(16, 0.0625);
+  r.amr_baseline_chr.assign(16, 0.0625);
+
+  for (const char* model : {"VBPR", "AMR"}) {
+    for (const char* attack : {"FGSM", "PGD"}) {
+      for (float eps : {2.0f, 4.0f, 8.0f, 16.0f}) {
+        core::CellResult c;
+        c.model = model;
+        c.attack = attack;
+        c.source_category = data::kSock;
+        c.target_category = data::kRunningShoe;
+        c.semantically_similar = true;
+        c.eps_255 = eps;
+        c.chr_before_source = 0.021;
+        c.chr_before_target = 0.079;
+        c.chr_after_source = 0.03 + 0.001 * eps;
+        c.success_rate = std::string(attack) == "PGD" ? 0.9 : 0.2;
+        c.psnr = 40.0;
+        c.ssim = 0.99;
+        c.psm = 0.05;
+        r.cells.push_back(c);
+      }
+    }
+  }
+  r.fig2.item = 17;
+  r.fig2.source_category = data::kSock;
+  r.fig2.target_category = data::kRunningShoe;
+  r.fig2.source_prob_before = 0.6;
+  r.fig2.target_prob_after = 0.99;
+  r.fig2.median_rank_before = 180;
+  r.fig2.median_rank_after = 14;
+  r.fig2.psnr = 40.0;
+  r.fig2.ssim = 0.99;
+  return r;
+}
+
+TEST(Report, Table1ContainsPaperReference) {
+  const auto t = core::table1_dataset_stats({fake_results()});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Amazon Men"), std::string::npos);
+  EXPECT_NE(s.find("26,155"), std::string::npos);   // paper |U|
+  EXPECT_NE(s.find("193,365"), std::string::npos);  // paper |S|
+  EXPECT_NE(s.find("260"), std::string::npos);      // synthetic |U|
+}
+
+TEST(Report, Table2HasRowPerModelAttackScenario) {
+  const auto t = core::table2_chr(fake_results());
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("VBPR"), std::string::npos);
+  EXPECT_NE(s.find("AMR"), std::string::npos);
+  EXPECT_NE(s.find("FGSM"), std::string::npos);
+  EXPECT_NE(s.find("PGD"), std::string::npos);
+  EXPECT_NE(s.find("Sock"), std::string::npos);
+  EXPECT_NE(s.find("eps=16"), std::string::npos);
+  // Baseline CHR of the source (2.1%) appears in the scenario header.
+  EXPECT_NE(s.find("2.100"), std::string::npos);
+}
+
+TEST(Report, Table3DeduplicatesModels) {
+  const auto t = core::table3_success(fake_results());
+  // One scenario x two attacks -> exactly 2 data rows.
+  EXPECT_EQ(t.num_rows(), 3u);  // 2 rows + 1 separator
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("90.00%"), std::string::npos);
+  EXPECT_NE(s.find("20.00%"), std::string::npos);
+}
+
+TEST(Report, Table4HasThreeMetricBlocks) {
+  const auto t = core::table4_visual(fake_results());
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("PSNR"), std::string::npos);
+  EXPECT_NE(s.find("SSIM"), std::string::npos);
+  EXPECT_NE(s.find("PSM"), std::string::npos);
+  EXPECT_NE(s.find("40.000"), std::string::npos);
+  EXPECT_NE(s.find("0.9900"), std::string::npos);
+}
+
+TEST(Report, Fig2TextMentionsProbabilitiesAndRanks) {
+  const std::string s = core::fig2_text(fake_results());
+  EXPECT_NE(s.find("item #17"), std::string::npos);
+  EXPECT_NE(s.find("Sock"), std::string::npos);
+  EXPECT_NE(s.find("Running Shoe"), std::string::npos);
+  EXPECT_NE(s.find("180"), std::string::npos);
+  EXPECT_NE(s.find("14"), std::string::npos);
+}
+
+TEST(Report, PartialGridPadsMissingCells) {
+  // A results object with only PGD at a single eps must still render: the
+  // FGSM rows disappear and absent cells show "-" padding, not a crash.
+  core::DatasetResults r = fake_results();
+  std::vector<core::CellResult> kept;
+  for (const auto& c : r.cells) {
+    if (c.attack == "PGD" && c.eps_255 == 8.0f) kept.push_back(c);
+  }
+  r.cells = kept;
+  EXPECT_NO_THROW({
+    const std::string s2 = core::table2_chr(r).to_string();
+    EXPECT_EQ(s2.find("FGSM"), std::string::npos);
+    EXPECT_NE(s2.find("PGD"), std::string::npos);
+  });
+  EXPECT_NO_THROW(core::table3_success(r).to_string());
+  EXPECT_NO_THROW(core::table4_visual(r).to_string());
+}
+
+TEST(Report, BaselineChrTableListsAllCategories) {
+  const auto t = core::baseline_chr_table(fake_results());
+  EXPECT_EQ(t.num_rows(), 16u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Analog Clock"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 10))];
+  for (int c : counts) EXPECT_GT(c, 700);  // ~1000 expected
+}
+
+TEST(Rng, UniformU64SmallNIsUnbiased) {
+  Rng rng(13);
+  int zeros = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.uniform_u64(2) == 0) ++zeros;
+  }
+  EXPECT_NEAR(zeros / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.015);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(31);
+  Rng child = parent.fork(0);
+  // Child stream must not replay the parent stream.
+  Rng parent_copy(31);
+  (void)parent_copy.next_u64();  // parent consumed one draw to fork
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent_copy.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForksWithDifferentStreamsDiffer) {
+  Rng a(5), b(5);
+  Rng f1 = a.fork(1);
+  Rng f2 = b.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = rng.sample_without_replacement(20, 10);
+    ASSERT_EQ(s.size(), 10u);
+    std::sort(s.begin(), s.end());
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    for (std::size_t x : s) EXPECT_LT(x, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(43);
+  auto s = rng.sample_without_replacement(8, 8);
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsKGreaterThanN) {
+  Rng rng(47);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalMatchesWeights) {
+  Rng rng(53);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(Rng, CategoricalRejectsBadInput) {
+  Rng rng(59);
+  EXPECT_THROW(rng.categorical(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical(std::vector<double>{1.0, -0.1}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(AliasTable, MatchesWeights) {
+  const std::vector<double> w = {5.0, 1.0, 2.0, 2.0};
+  AliasTable table(w);
+  Rng rng(61);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(AliasTable, SingleElement) {
+  AliasTable table(std::vector<double>{3.0});
+  Rng rng(67);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable table(std::vector<double>{0.0, 1.0, 0.0, 1.0});
+  Rng rng(71);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t s = table.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTable, RejectsBadInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0}), std::invalid_argument);
+}
+
+// Property sweep: alias tables reproduce arbitrary weight profiles.
+class AliasTableProfile : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasTableProfile, EmpiricalMatchesExpected) {
+  Rng setup(100 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t k = 2 + setup.index(12);
+  std::vector<double> w(k);
+  double total = 0.0;
+  for (double& x : w) {
+    x = setup.uniform(0.05, 4.0);
+    total += x;
+  }
+  AliasTable table(w);
+  Rng rng(200 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<int> counts(k, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), w[i] / total, 0.02)
+        << "component " << i << " of profile " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, AliasTableProfile, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace taamr

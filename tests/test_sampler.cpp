@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "data/amazon_synth.hpp"
+#include "recsys/sampler.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(TripletSampler, TripletsAreValid) {
+  const auto ds = data::generate_synthetic_dataset(data::amazon_men_spec(data::kTestScale));
+  recsys::TripletSampler sampler(ds);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const recsys::Triplet t = sampler.sample(rng);
+    ASSERT_GE(t.user, 0);
+    ASSERT_LT(t.user, ds.num_users);
+    ASSERT_TRUE(ds.user_interacted(t.user, t.pos_item));
+    ASSERT_FALSE(ds.user_interacted(t.user, t.neg_item));
+    ASSERT_NE(t.pos_item, t.neg_item);
+  }
+}
+
+TEST(TripletSampler, CoversManyUsers) {
+  const auto ds = data::generate_synthetic_dataset(data::amazon_men_spec(data::kTestScale));
+  recsys::TripletSampler sampler(ds);
+  Rng rng(2);
+  std::vector<int> seen(static_cast<std::size_t>(ds.num_users), 0);
+  for (int i = 0; i < 5000; ++i) seen[static_cast<std::size_t>(sampler.sample(rng).user)] = 1;
+  int covered = 0;
+  for (int s : seen) covered += s;
+  EXPECT_GT(covered, static_cast<int>(0.8 * static_cast<double>(ds.num_users)));
+}
+
+TEST(TripletSampler, RejectsDegenerateDatasets) {
+  data::ImplicitDataset empty;
+  empty.num_users = 2;
+  empty.num_items = 5;
+  empty.train = {{}, {}};
+  empty.test = {-1, -1};
+  EXPECT_THROW(recsys::TripletSampler{empty}, std::invalid_argument);
+
+  data::ImplicitDataset one_item;
+  one_item.num_users = 1;
+  one_item.num_items = 1;
+  one_item.train = {{0}};
+  one_item.test = {-1};
+  EXPECT_THROW(recsys::TripletSampler{one_item}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taamr

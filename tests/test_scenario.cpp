@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "data/categories.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(Scenario, MenVbprMatchesPaper) {
+  const auto s = core::paper_scenarios("Amazon Men", "VBPR");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].source_category, data::kSock);
+  EXPECT_EQ(s[0].target_category, data::kRunningShoe);
+  EXPECT_TRUE(s[0].semantically_similar);
+  EXPECT_EQ(s[1].target_category, data::kAnalogClock);
+  EXPECT_FALSE(s[1].semantically_similar);
+}
+
+TEST(Scenario, MenAmrSwapsClockForJersey) {
+  const auto s = core::paper_scenarios("Amazon Men", "AMR");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].target_category, data::kRunningShoe);
+  EXPECT_EQ(s[1].target_category, data::kJerseyTShirt);
+}
+
+TEST(Scenario, WomenSharedAcrossModels) {
+  const auto vbpr = core::paper_scenarios("Amazon Women", "VBPR");
+  const auto amr = core::paper_scenarios("Amazon Women", "AMR");
+  ASSERT_EQ(vbpr.size(), 2u);
+  EXPECT_EQ(vbpr[0].source_category, data::kMaillot);
+  EXPECT_EQ(vbpr[0].target_category, data::kBrassiere);
+  EXPECT_EQ(vbpr[1].target_category, data::kChain);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(vbpr[i].source_category, amr[i].source_category);
+    EXPECT_EQ(vbpr[i].target_category, amr[i].target_category);
+  }
+}
+
+TEST(Scenario, LabelIsHumanReadable) {
+  const auto s = core::paper_scenarios("Amazon Men", "VBPR");
+  EXPECT_EQ(s[0].label(), "Sock -> Running Shoe");
+}
+
+TEST(Scenario, AllDatasetScenariosDeduplicates) {
+  const auto men = core::all_dataset_scenarios("Amazon Men");
+  // VBPR: {Sock->Shoe, Sock->Clock}; AMR adds {Sock->Jersey}.
+  EXPECT_EQ(men.size(), 3u);
+  const auto women = core::all_dataset_scenarios("Amazon Women");
+  EXPECT_EQ(women.size(), 2u);
+}
+
+TEST(Scenario, UnknownInputsRejected) {
+  EXPECT_THROW(core::paper_scenarios("Amazon Kids", "VBPR"), std::invalid_argument);
+  EXPECT_THROW(core::paper_scenarios("Amazon Men", "SVD"), std::invalid_argument);
+}
+
+TEST(Scenario, AcceptsSnakeCaseNames) {
+  EXPECT_NO_THROW(core::paper_scenarios("amazon_men", "VBPR"));
+  EXPECT_NO_THROW(core::paper_scenarios("amazon_women", "AMR"));
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "nn/serialize.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+nn::MiniResNetConfig tiny_config() {
+  nn::MiniResNetConfig cfg;
+  cfg.image_size = 8;
+  cfg.base_width = 4;
+  cfg.blocks_per_stage = 1;
+  cfg.num_classes = 3;
+  return cfg;
+}
+
+TEST(Serialize, StreamRoundtripPreservesOutputs) {
+  Rng rng(91);
+  nn::Classifier original(tiny_config(), rng);
+  std::stringstream ss;
+  nn::save_classifier(ss, original);
+  nn::Classifier restored = nn::load_classifier(ss);
+
+  Tensor x({2, 3, 8, 8});
+  testing::fill_uniform(x, rng, 0.0f, 1.0f);
+  testing::expect_tensor_near(original.logits(x), restored.logits(x), 1e-6f,
+                              "serialize roundtrip");
+  testing::expect_tensor_near(original.features(x), restored.features(x), 1e-6f,
+                              "serialize roundtrip features");
+}
+
+TEST(Serialize, RoundtripPreservesConfig) {
+  Rng rng(92);
+  nn::Classifier original(tiny_config(), rng);
+  std::stringstream ss;
+  nn::save_classifier(ss, original);
+  nn::Classifier restored = nn::load_classifier(ss);
+  EXPECT_EQ(restored.config().image_size, 8);
+  EXPECT_EQ(restored.config().base_width, 4);
+  EXPECT_EQ(restored.num_classes(), 3);
+}
+
+TEST(Serialize, FileRoundtrip) {
+  Rng rng(93);
+  nn::Classifier original(tiny_config(), rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "taamr_test_model.bin").string();
+  original.save(path);
+  nn::Classifier restored = nn::Classifier::load(path);
+  Tensor x({1, 3, 8, 8});
+  testing::fill_uniform(x, rng, 0.0f, 1.0f);
+  testing::expect_tensor_near(original.logits(x), restored.logits(x), 1e-6f, "file");
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsCorruptMagic) {
+  std::stringstream ss;
+  ss << "this is not a taamr checkpoint at all, not even close";
+  EXPECT_THROW(nn::load_classifier(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Rng rng(94);
+  nn::Classifier original(tiny_config(), rng);
+  std::stringstream ss;
+  nn::save_classifier(ss, original);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(nn::load_classifier(truncated), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(nn::load_classifier_file("/nonexistent/path/model.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "metrics/success.hpp"
+#include "test_helpers.hpp"
+
+namespace taamr {
+namespace {
+
+nn::Classifier tiny_classifier(Rng& rng) {
+  nn::MiniResNetConfig cfg;
+  cfg.image_size = 8;
+  cfg.base_width = 4;
+  cfg.blocks_per_stage = 1;
+  cfg.num_classes = 3;
+  return nn::Classifier(cfg, rng);
+}
+
+TEST(Success, MatchesManualCount) {
+  Rng rng(101);
+  nn::Classifier c = tiny_classifier(rng);
+  Tensor x({8, 3, 8, 8});
+  testing::fill_uniform(x, rng, 0.0f, 1.0f);
+  const auto pred = c.predict(x);
+  for (std::int64_t target = 0; target < 3; ++target) {
+    std::int64_t expect = 0;
+    for (std::int64_t p : pred) {
+      if (p == target) ++expect;
+    }
+    const auto stats = metrics::attack_success(c, x, target);
+    EXPECT_EQ(stats.num_images, 8);
+    EXPECT_NEAR(stats.success_rate, expect / 8.0, 1e-9);
+  }
+}
+
+TEST(Success, RatesSumToOneAcrossClasses) {
+  Rng rng(102);
+  nn::Classifier c = tiny_classifier(rng);
+  Tensor x({6, 3, 8, 8});
+  testing::fill_uniform(x, rng, 0.0f, 1.0f);
+  double total_rate = 0.0, total_prob = 0.0;
+  for (std::int64_t t = 0; t < 3; ++t) {
+    const auto stats = metrics::attack_success(c, x, t);
+    total_rate += stats.success_rate;
+    total_prob += stats.mean_target_prob;
+  }
+  EXPECT_NEAR(total_rate, 1.0, 1e-9);
+  EXPECT_NEAR(total_prob, 1.0, 1e-4);
+}
+
+TEST(Success, MeanTargetProbInUnitInterval) {
+  Rng rng(103);
+  nn::Classifier c = tiny_classifier(rng);
+  Tensor x({4, 3, 8, 8});
+  testing::fill_uniform(x, rng, 0.0f, 1.0f);
+  const auto stats = metrics::attack_success(c, x, 1);
+  EXPECT_GE(stats.mean_target_prob, 0.0);
+  EXPECT_LE(stats.mean_target_prob, 1.0);
+}
+
+TEST(Success, ValidatesTargetClass) {
+  Rng rng(104);
+  nn::Classifier c = tiny_classifier(rng);
+  Tensor x({1, 3, 8, 8});
+  EXPECT_THROW(metrics::attack_success(c, x, -1), std::invalid_argument);
+  EXPECT_THROW(metrics::attack_success(c, x, 3), std::invalid_argument);
+}
+
+TEST(Misclassification, ComplementOfSourceRate) {
+  Rng rng(105);
+  nn::Classifier c = tiny_classifier(rng);
+  Tensor x({10, 3, 8, 8});
+  testing::fill_uniform(x, rng, 0.0f, 1.0f);
+  for (std::int64_t source = 0; source < 3; ++source) {
+    const auto stats = metrics::attack_success(c, x, source);
+    EXPECT_NEAR(metrics::misclassification_rate(c, x, source),
+                1.0 - stats.success_rate, 1e-9);
+  }
+  EXPECT_THROW(metrics::misclassification_rate(c, x, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taamr

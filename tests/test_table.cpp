@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.header({"a", "bb"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t;
+  t.header({"x"});
+  t.row({"wide-cell"});
+  const std::string s = t.to_string();
+  // Header cell must be padded to the widest cell's width.
+  EXPECT_NE(s.find("| x         |"), std::string::npos);
+}
+
+TEST(Table, RowCellCountMustMatchHeader) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, SeparatorRendersRule) {
+  Table t;
+  t.header({"a"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  const std::string s = t.to_string();
+  // 4 rules: top, under header, separator, bottom.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos += 4;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PctFormatsFraction) {
+  EXPECT_EQ(Table::pct(0.9932, 2), "99.32%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, CountThousandsSeparators) {
+  EXPECT_EQ(Table::count(0), "0");
+  EXPECT_EQ(Table::count(999), "999");
+  EXPECT_EQ(Table::count(1000), "1,000");
+  EXPECT_EQ(Table::count(193365), "193,365");
+  EXPECT_EQ(Table::count(-26155), "-26,155");
+}
+
+}  // namespace
+}  // namespace taamr

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace taamr {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({5, 0}), 0);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_THROW(shape_numel({-1, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, FillConstruction) {
+  Tensor t({2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2u);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, FactoryHelpers) {
+  EXPECT_EQ(Tensor::zeros({3})[1], 0.0f);
+  EXPECT_EQ(Tensor::ones({3})[2], 1.0f);
+  EXPECT_EQ(Tensor::full({2}, -4.0f)[0], -4.0f);
+}
+
+TEST(Tensor, DataConstructionValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, RowMajorIndexing2d) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+  t.at(1, 1) = 99.0f;
+  EXPECT_EQ(t[4], 99.0f);
+}
+
+TEST(Tensor, RowMajorIndexing4d) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 5.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapedIsACopy) {
+  Tensor t({4}, std::vector<float>{1, 2, 3, 4});
+  Tensor r = t.reshaped({2, 2});
+  r.at(0, 0) = 100.0f;
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b = a;
+  b[0] = 50.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t({3}, std::vector<float>{1, 2, 3});
+  t.fill(0.25f);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 0.25f);
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).same_shape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).same_shape(Tensor({3, 2})));
+}
+
+TEST(Tensor, CheckSameShapeThrows) {
+  EXPECT_NO_THROW(check_same_shape(Tensor({2}), Tensor({2}), "t"));
+  EXPECT_THROW(check_same_shape(Tensor({2}), Tensor({3}), "t"), std::invalid_argument);
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor t({100});
+  const std::string s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[100]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace taamr
