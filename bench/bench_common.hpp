@@ -3,20 +3,43 @@
 // cache so that table2/3/4/fig2 all reuse a single expensive run.
 //
 // Environment knobs:
-//   TAAMR_SCALE      dataset scale factor (default data::kBenchScale)
-//   TAAMR_CACHE_DIR  cache directory      (default ./taamr_cache)
-//   TAAMR_SEED       master seed          (default 42)
+//   TAAMR_SCALE        dataset scale factor   (default data::kBenchScale)
+//   TAAMR_CACHE_DIR    cache directory        (default ./taamr_cache)
+//   TAAMR_SEED         master seed            (default 42)
+//   TAAMR_METRICS_OUT  metrics JSON path — every bench binary dumps the
+//                      registry snapshot (per-stage wall-time counters,
+//                      thread-pool gauges, epoch-loss histograms, the
+//                      bench_results_seconds_total timing below) there at
+//                      exit, next to its stdout table output
+//   TAAMR_TRACE        Chrome trace-event JSON path (chrome://tracing)
+//   TAAMR_RUN_LOG      per-epoch/per-attack-step JSONL log path
+//
+// Malformed TAAMR_SCALE / TAAMR_SEED values are rejected with a warning
+// and the default is used instead (they used to silently parse as 0, which
+// produced empty datasets and degenerate runs).
 #pragma once
 
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
 
 namespace taamr::bench {
 
 inline double env_scale() {
-  if (const char* s = std::getenv("TAAMR_SCALE")) return std::atof(s);
+  if (const char* s = std::getenv("TAAMR_SCALE")) {
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end != s && *end == '\0' && std::isfinite(v) && v > 0.0) return v;
+    log_warn() << "ignoring malformed TAAMR_SCALE='" << s << "', using default "
+               << data::kBenchScale;
+  }
   return data::kBenchScale;
 }
 
@@ -26,7 +49,23 @@ inline std::string env_cache_dir() {
 }
 
 inline std::uint64_t env_seed() {
-  if (const char* s = std::getenv("TAAMR_SEED")) return std::strtoull(s, nullptr, 10);
+  if (const char* s = std::getenv("TAAMR_SEED")) {
+    // strtoull accepts a leading '-' (wrapping) and partial prefixes;
+    // require an all-digit string so typos fall back loudly.
+    bool digits = s[0] != '\0';
+    for (const char* p = s; *p != '\0'; ++p) {
+      if (!std::isdigit(static_cast<unsigned char>(*p))) {
+        digits = false;
+        break;
+      }
+    }
+    if (digits) {
+      char* end = nullptr;
+      const std::uint64_t v = std::strtoull(s, &end, 10);
+      if (end != s && *end == '\0') return v;
+    }
+    log_warn() << "ignoring malformed TAAMR_SEED='" << s << "', using default 42";
+  }
   return 42;
 }
 
@@ -40,7 +79,14 @@ inline core::ExperimentConfig experiment_config(const std::string& dataset) {
 }
 
 inline core::DatasetResults results_for(const std::string& dataset) {
-  return core::run_or_load_experiment(experiment_config(dataset), env_cache_dir());
+  TAAMR_TRACE_SPAN("bench/results_for");
+  Stopwatch timer;
+  core::DatasetResults results =
+      core::run_or_load_experiment(experiment_config(dataset), env_cache_dir());
+  obs::MetricsRegistry::global()
+      .counter("bench_results_seconds_total", {{"dataset", dataset}})
+      .add(timer.seconds());
+  return results;
 }
 
 }  // namespace taamr::bench

@@ -1,15 +1,21 @@
-// Quickstart: the library in ~60 lines.
+// Quickstart: the library in ~70 lines.
 //
 // 1. Synthesize a small "Amazon Men"-like dataset with product images.
 // 2. Train the CNN feature extractor and pull features at layer e.
 // 3. Train VBPR on interactions + features.
 // 4. Print a user's top-5 recommendations with category names.
+// 5. Run a small targeted FGSM attack (Sock -> Running Shoe).
 //
 // Build & run:   ./examples/quickstart
+//
+// Set TAAMR_TRACE=trace.json / TAAMR_METRICS_OUT=metrics.json to capture a
+// Chrome trace and a metrics snapshot of the run (see README, Observability).
 #include <iostream>
 
+#include "attack/attack.hpp"
 #include "core/pipeline.hpp"
 #include "data/categories.hpp"
+#include "metrics/success.hpp"
 #include "recsys/ranker.hpp"
 #include "recsys/trainer.hpp"
 
@@ -59,5 +65,14 @@ int main() {
               << data::category_name(dataset.item_category[static_cast<std::size_t>(item)])
               << ")  score=" << vbpr->score(user, item) << "\n";
   }
+
+  // Stage 5: a small targeted attack — push every Sock toward Running Shoe.
+  const auto batch = pipeline.attack_category(data::kSock, data::kRunningShoe,
+                                              attack::AttackKind::kFgsm, 8.0f);
+  const auto success = metrics::attack_success(
+      pipeline.classifier(), batch.attacked_images, data::kRunningShoe);
+  std::cout << "\nFGSM eps=8/255, Sock -> Running Shoe: " << batch.items.size()
+            << " items attacked, success rate "
+            << 100.0 * success.success_rate << "%\n";
   return 0;
 }

@@ -6,6 +6,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/runlog.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace taamr::attack {
@@ -35,6 +38,7 @@ inline float safe_atanh(float v) {
 
 Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
                               const std::vector<std::int64_t>& labels) {
+  TAAMR_TRACE_SPAN("attack/cw");
   if (images.ndim() != 4) {
     throw std::invalid_argument("CarliniWagner: expected [N, C, H, W] images");
   }
@@ -73,9 +77,14 @@ Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
     w0[i] = safe_atanh((images[i] - lo) / range * 2.0f - 1.0f);
   }
 
+  auto& margin_hist = obs::MetricsRegistry::global().histogram(
+      "attack_cw_margin", {}, obs::exponential_bounds(1e-3, 2.0, 20));
+
   for (std::int64_t step = 0; step < config_.binary_search_steps; ++step) {
+    TAAMR_TRACE_SPAN("attack/cw/search_step");
     Tensor w = w0;
     std::vector<bool> succeeded(static_cast<std::size_t>(n), false);
+    double last_margin_sum = 0.0;
 
     for (std::int64_t it = 0; it < config_.iterations; ++it) {
       const Tensor x = to_image_space(w);
@@ -98,6 +107,7 @@ Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
         }
         const float margin = logits.at(i, runner_up) - logits.at(i, t);
         margins[static_cast<std::size_t>(i)] = margin;
+        if (it == config_.iterations - 1) last_margin_sum += margin;
         // d f / d logits, only while the margin constraint is active.
         if (margin > -config_.confidence) {
           cot.at(i, runner_up) = c[static_cast<std::size_t>(i)];
@@ -132,6 +142,19 @@ Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
         }
       }
     }
+
+    // Per-search-step telemetry: how many images currently succeed and how
+    // deep the margin sits (negative = past the decision boundary).
+    const double mean_margin = last_margin_sum / static_cast<double>(n);
+    margin_hist.observe(mean_margin);
+    obs::runlog("attack_step",
+                {{"attack", "cw"},
+                 {"step", static_cast<double>(step + 1)},
+                 {"successes",
+                  static_cast<double>(std::count(succeeded.begin(),
+                                                 succeeded.end(), true))},
+                 {"mean_margin", mean_margin},
+                 {"images", static_cast<double>(n)}});
 
     // Binary-search update of c.
     for (std::int64_t i = 0; i < n; ++i) {

@@ -6,10 +6,23 @@
 
 #include "data/categories.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runlog.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace taamr::core {
+
+namespace {
+// Per-stage wall-time counters: the top-level breakdown of where a run's
+// hours go, keyed the same way as the trace spans.
+void add_stage_seconds(const char* stage, double seconds) {
+  obs::MetricsRegistry::global()
+      .counter("pipeline_stage_seconds_total", {{"stage", stage}})
+      .add(seconds);
+}
+}  // namespace
 
 nn::MiniResNetConfig PipelineConfig::cnn_config() const {
   nn::MiniResNetConfig cfg;
@@ -60,6 +73,8 @@ void Pipeline::train_or_load_classifier() {
     std::filesystem::create_directories(config_.cache_dir);
     cache_path = (std::filesystem::path(config_.cache_dir) / key.str()).string();
     if (std::filesystem::exists(cache_path)) {
+      TAAMR_TRACE_SPAN("pipeline/load_cnn");
+      Stopwatch load_timer;
       log_info() << "loading cached CNN checkpoint " << cache_path;
       classifier_ = nn::load_classifier_file(cache_path);
       // Evaluate on a fresh held-out set so accuracy is always reported.
@@ -68,10 +83,12 @@ void Pipeline::train_or_load_classifier() {
       classifier_accuracy_ =
           classifier_->evaluate_accuracy(held_out.images, held_out.labels);
       log_info() << "cached CNN held-out accuracy: " << classifier_accuracy_;
+      add_stage_seconds("classifier_load", load_timer.seconds());
       return;
     }
   }
 
+  TAAMR_TRACE_SPAN("pipeline/train_cnn");
   Stopwatch timer;
   Rng init_rng = rng_.fork(101);
   classifier_.emplace(config_.cnn_config(), init_rng);
@@ -90,6 +107,7 @@ void Pipeline::train_or_load_classifier() {
   classifier_accuracy_ = classifier_->evaluate_accuracy(held_out.images, held_out.labels);
   log_info() << "CNN trained in " << timer.seconds() << "s, held-out accuracy "
              << classifier_accuracy_;
+  add_stage_seconds("classifier_train", timer.seconds());
 
   if (!cache_path.empty()) {
     nn::save_classifier_file(cache_path, *classifier_);
@@ -99,33 +117,45 @@ void Pipeline::train_or_load_classifier() {
 
 void Pipeline::prepare() {
   if (prepared_) return;
+  TAAMR_TRACE_SPAN("pipeline/prepare");
   Stopwatch timer;
-  dataset_ = data::generate_synthetic_dataset(
-      data::spec_by_name(config_.dataset_name, config_.scale));
-  catalog_ = data::render_catalog(*dataset_, config_.image_config());
+  {
+    TAAMR_TRACE_SPAN("pipeline/synthesize_dataset");
+    dataset_ = data::generate_synthetic_dataset(
+        data::spec_by_name(config_.dataset_name, config_.scale));
+    catalog_ = data::render_catalog(*dataset_, config_.image_config());
+  }
   log_info() << "dataset + catalog ready in " << timer.seconds() << "s";
+  add_stage_seconds("synthesize_dataset", timer.seconds());
 
   train_or_load_classifier();
 
   Stopwatch feat_timer;
-  clean_features_ = classifier_->features(catalog_->images);
+  {
+    TAAMR_TRACE_SPAN("pipeline/extract_features");
+    clean_features_ = classifier_->features(catalog_->images);
+  }
   log_info() << "extracted clean features [" << clean_features_.dim(0) << " x "
              << clean_features_.dim(1) << "] in " << feat_timer.seconds() << "s";
+  add_stage_seconds("extract_features", feat_timer.seconds());
   prepared_ = true;
 }
 
 std::unique_ptr<recsys::Vbpr> Pipeline::train_vbpr() {
   if (!prepared_) throw std::logic_error("Pipeline: call prepare() first");
+  TAAMR_TRACE_SPAN("pipeline/train_vbpr");
   Stopwatch timer;
   Rng rng = rng_.fork(201);
   auto model = std::make_unique<recsys::Vbpr>(*dataset_, clean_features_, config_.vbpr, rng);
   model->fit(*dataset_, rng);
   log_info() << "VBPR trained in " << timer.seconds() << "s";
+  add_stage_seconds("train_vbpr", timer.seconds());
   return model;
 }
 
 std::unique_ptr<recsys::Amr> Pipeline::train_amr() {
   if (!prepared_) throw std::logic_error("Pipeline: call prepare() first");
+  TAAMR_TRACE_SPAN("pipeline/train_amr");
   Stopwatch timer;
   Rng rng = rng_.fork(202);
   recsys::AmrConfig cfg;
@@ -136,6 +166,7 @@ std::unique_ptr<recsys::Amr> Pipeline::train_amr() {
   auto model = std::make_unique<recsys::Amr>(*dataset_, clean_features_, cfg, rng);
   model->fit(*dataset_, rng);
   log_info() << "AMR trained in " << timer.seconds() << "s";
+  add_stage_seconds("train_amr", timer.seconds());
   return model;
 }
 
@@ -147,6 +178,7 @@ Pipeline::AttackedBatch Pipeline::attack_category(std::int32_t source_category,
   if (target_category < 0 || target_category >= data::num_categories()) {
     throw std::invalid_argument("attack_category: bad target category");
   }
+  TAAMR_TRACE_SPAN("pipeline/attack_category");
   AttackedBatch batch;
   batch.items = dataset_->items_of_category(source_category);
   if (batch.items.empty()) {
@@ -169,12 +201,22 @@ Pipeline::AttackedBatch Pipeline::attack_category(std::int32_t source_category,
              << batch.items.size() << " '" << data::category_name(source_category)
              << "' images -> '" << data::category_name(target_category) << "' in "
              << timer.seconds() << "s";
+  add_stage_seconds("attack_category", timer.seconds());
+  obs::runlog("attack_category",
+              {{"attack", attacker->name()},
+               {"eps_255", static_cast<double>(epsilon_255)},
+               {"items", static_cast<double>(batch.items.size())},
+               {"source", static_cast<double>(source_category)},
+               {"target", static_cast<double>(target_category)},
+               {"seconds", timer.seconds()}});
   return batch;
 }
 
 Tensor Pipeline::features_with_attack(const std::vector<std::int32_t>& items,
                                       const Tensor& attacked_images) {
   if (!prepared_) throw std::logic_error("Pipeline: call prepare() first");
+  TAAMR_TRACE_SPAN("pipeline/re_extract_features");
+  Stopwatch timer;
   const Tensor attacked_features = classifier_->features(attacked_images);
   if (attacked_features.dim(0) != static_cast<std::int64_t>(items.size())) {
     throw std::invalid_argument("features_with_attack: items/images mismatch");
@@ -186,6 +228,7 @@ Tensor Pipeline::features_with_attack(const std::vector<std::int32_t>& items,
       merged.at(items[b], j) = attacked_features.at(static_cast<std::int64_t>(b), j);
     }
   }
+  add_stage_seconds("re_extract_features", timer.seconds());
   return merged;
 }
 

@@ -1,12 +1,17 @@
 #include "nn/classifier.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/runlog.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
+#include "util/stopwatch.hpp"
 
 namespace taamr::nn {
 
@@ -73,15 +78,28 @@ TrainStats Classifier::train_epoch(const Tensor& images,
       }
     }
   }
+  double grad_sq = 0.0;
+  for (const Param* p : model_.net.params()) {
+    if (!p->trainable) continue;
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+      grad_sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
   return TrainStats{static_cast<float>(loss_sum / static_cast<double>(n)),
-                    static_cast<double>(correct) / static_cast<double>(n)};
+                    static_cast<double>(correct) / static_cast<double>(n),
+                    std::sqrt(grad_sq)};
 }
 
 void Classifier::fit(const Tensor& images, const std::vector<std::int64_t>& labels,
                      std::int64_t epochs, std::int64_t batch_size, SgdConfig sgd_config,
                      Rng& rng, bool verbose) {
   Sgd optimizer(sgd_config);
+  auto& loss_hist = obs::MetricsRegistry::global().histogram(
+      "cnn_epoch_loss", {}, obs::exponential_bounds(1e-3, 2.0, 20));
+  auto& epochs_total = obs::MetricsRegistry::global().counter("cnn_epochs_total");
   for (std::int64_t epoch = 0; epoch < epochs; ++epoch) {
+    TAAMR_TRACE_SPAN("cnn/epoch");
+    Stopwatch epoch_timer;
     // Step schedule: decay 10x at 60% and 85% of the run.
     float lr = sgd_config.learning_rate;
     if (epoch >= (epochs * 85) / 100) {
@@ -91,6 +109,16 @@ void Classifier::fit(const Tensor& images, const std::vector<std::int64_t>& labe
     }
     optimizer.set_learning_rate(lr);
     const TrainStats stats = train_epoch(images, labels, batch_size, optimizer, rng);
+    const double examples_per_sec =
+        static_cast<double>(images.dim(0)) / std::max(epoch_timer.seconds(), 1e-9);
+    loss_hist.observe(static_cast<double>(stats.loss));
+    epochs_total.increment();
+    obs::runlog("cnn_epoch", {{"epoch", static_cast<double>(epoch + 1)},
+                              {"loss", static_cast<double>(stats.loss)},
+                              {"accuracy", stats.accuracy},
+                              {"grad_norm", stats.grad_norm},
+                              {"lr", static_cast<double>(lr)},
+                              {"examples_per_sec", examples_per_sec}});
     if (verbose) {
       log_info() << "cnn epoch " << (epoch + 1) << "/" << epochs << " loss=" << stats.loss
                  << " acc=" << stats.accuracy;

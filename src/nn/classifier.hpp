@@ -18,6 +18,9 @@ namespace taamr::nn {
 struct TrainStats {
   float loss = 0.0f;
   double accuracy = 0.0;
+  // L2 norm of the parameter gradient after the epoch's last batch — a
+  // cheap convergence/explosion signal for the run log.
+  double grad_norm = 0.0;
 };
 
 class Classifier {

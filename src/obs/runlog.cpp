@@ -1,0 +1,78 @@
+#include "obs/runlog.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace taamr::obs {
+
+// The impl is intentionally leaked: events may be emitted from other
+// singletons' destructors at process exit, and an ofstream flushes on every
+// line anyway, so skipping destruction loses nothing and removes any
+// static-destruction-order hazard.
+struct RunLog::Impl {
+  std::mutex mutex;
+  std::string path;
+  bool opened = false;
+  std::ofstream stream;
+
+  void ensure_open() {
+    if (opened || path.empty()) return;
+    stream.open(path, std::ios::app);
+    opened = true;
+  }
+};
+
+RunLog::RunLog() : impl_(new Impl) {
+  if (const char* path = std::getenv("TAAMR_RUN_LOG")) {
+    impl_->path = path;
+  }
+}
+
+RunLog& RunLog::global() {
+  static RunLog log;
+  return log;
+}
+
+bool RunLog::enabled() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return !impl_->path.empty();
+}
+
+void RunLog::open(std::string path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->opened) {
+    impl_->stream.close();
+    impl_->opened = false;
+  }
+  impl_->path = std::move(path);
+}
+
+void RunLog::event(std::string_view name, std::initializer_list<Field> fields) {
+  if (!enabled()) return;
+  std::ostringstream os;
+  os << "{\"event\":\"" << json::escape(name) << "\",\"t_s\":"
+     << json::number(static_cast<double>(monotonic_us()) * 1e-6);
+  for (const Field& f : fields) {
+    os << ",\"" << json::escape(f.key) << "\":";
+    if (f.kind == Field::Kind::kString) {
+      os << '"' << json::escape(f.str) << '"';
+    } else if (f.num == std::floor(f.num) && std::abs(f.num) < 1e15) {
+      os << static_cast<std::int64_t>(f.num);
+    } else {
+      os << json::number(f.num);
+    }
+  }
+  os << "}\n";
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->ensure_open();
+  if (impl_->stream.is_open()) impl_->stream << os.str() << std::flush;
+}
+
+}  // namespace taamr::obs

@@ -1,0 +1,58 @@
+// JSONL run log: one machine-readable line per training/attack event, the
+// raw material for loss curves and per-epoch comparisons across runs.
+//
+//   obs::runlog("cnn_epoch", {{"epoch", 3.0}, {"loss", 0.42}});
+//   -> {"event":"cnn_epoch","t_s":12.345,"epoch":3,"loss":0.42}
+//
+// Enabled by TAAMR_RUN_LOG=<path> in the environment (append mode, so
+// sequential runs can share one log). Disabled it costs one branch.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace taamr::obs {
+
+// One key/value field of a run-log event; numeric or string payload.
+struct Field {
+  enum class Kind { kNumber, kString };
+
+  Field(std::string_view k, double v) : key(k), kind(Kind::kNumber), num(v) {}
+  Field(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), str(v) {}
+  Field(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), str(v) {}
+
+  std::string_view key;
+  Kind kind;
+  double num = 0.0;
+  std::string_view str;
+};
+
+class RunLog {
+ public:
+  // Process-wide log; opens $TAAMR_RUN_LOG lazily on the first event.
+  static RunLog& global();
+
+  bool enabled() const;
+
+  // Appends one JSONL line: {"event":<name>,"t_s":<seconds>,<fields>...}.
+  // Integral-valued numbers are printed without a decimal point.
+  void event(std::string_view name, std::initializer_list<Field> fields);
+
+  // Redirects to an explicit path (tests); empty disables.
+  void open(std::string path);
+
+ private:
+  RunLog();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state; see runlog.cpp
+};
+
+// Convenience wrapper over RunLog::global().
+inline void runlog(std::string_view name, std::initializer_list<Field> fields) {
+  RunLog::global().event(name, fields);
+}
+
+}  // namespace taamr::obs

@@ -1,9 +1,41 @@
 #include "util/logging.hpp"
 
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace taamr {
+
+bool parse_log_level(std::string_view name, LogLevel& out) {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") {
+    out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    out = LogLevel::kError;
+  } else if (lower == "off" || lower == "none") {
+    out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("TAAMR_LOG_LEVEL")) {
+    if (!parse_log_level(env, level_)) {
+      std::fprintf(stderr, "[taamr] ignoring unrecognized TAAMR_LOG_LEVEL='%s'\n",
+                   env);
+    }
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -11,6 +43,7 @@ Logger& Logger::instance() {
 }
 
 namespace {
+
 const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -20,16 +53,38 @@ const char* level_tag(LogLevel level) {
     default: return "?????";
   }
 }
+
+// Compact sequential thread id — stable within a run, far more readable in
+// interleaved logs than the hashed std::thread::id.
+int thread_tag() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ISO-8601 UTC timestamp with milliseconds, e.g. 2026-08-06T12:34:56.789Z.
+void format_timestamp(char* buf, std::size_t size) {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const int ms = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf, size, "%s.%03dZ", date, ms);
+}
+
 }  // namespace
 
 void Logger::log(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(level_)) return;
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point start = Clock::now();
-  const double elapsed =
-      std::chrono::duration<double>(Clock::now() - start).count();
+  char ts[48];
+  format_timestamp(ts, sizeof(ts));
+  const int tid = thread_tag();
   std::lock_guard<std::mutex> lock(mutex_);
-  std::fprintf(stderr, "[%9.3fs %s] %.*s\n", elapsed, level_tag(level),
+  std::fprintf(stderr, "[%s %s t%02d] %.*s\n", ts, level_tag(level), tid,
                static_cast<int>(message.size()), message.data());
 }
 

@@ -1,5 +1,14 @@
 // Minimal leveled logger. Thread-safe, writes to stderr so that bench
 // binaries can keep stdout clean for table output.
+//
+// Each line carries an ISO-8601 UTC timestamp (millisecond precision), the
+// level tag and a compact per-thread id:
+//
+//   [2026-08-06T12:34:56.789Z INFO  t00] VBPR trained in 1.97s
+//
+// The initial level comes from TAAMR_LOG_LEVEL (debug|info|warn|error|off,
+// case-insensitive), parsed once when the logger is first used; it defaults
+// to info, and an unrecognized value is reported and ignored.
 #pragma once
 
 #include <mutex>
@@ -11,6 +20,10 @@ namespace taamr {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+// Parses a TAAMR_LOG_LEVEL-style name; returns false (and leaves `out`
+// untouched) when the name is not one of debug/info/warn/error/off.
+bool parse_log_level(std::string_view name, LogLevel& out);
+
 class Logger {
  public:
   static Logger& instance();
@@ -21,7 +34,7 @@ class Logger {
   void log(LogLevel level, std::string_view message);
 
  private:
-  Logger() = default;
+  Logger();  // reads TAAMR_LOG_LEVEL
   LogLevel level_ = LogLevel::kInfo;
   std::mutex mutex_;
 };

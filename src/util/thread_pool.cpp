@@ -2,12 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace taamr {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Touch the obs singletons before spawning workers: they are constructed
+  // before this pool finishes constructing, hence destroyed after it, so
+  // worker threads may safely record into them right up to join().
+  obs::Trace& trace = obs::Trace::global();
+  (void)trace;
+  telemetry_ = obs::telemetry_enabled();
+  if (telemetry_) {
+    static std::atomic<int> next_pool_id{0};
+    const obs::Labels labels = {
+        {"pool", std::to_string(next_pool_id.fetch_add(1))}};
+    auto& reg = obs::MetricsRegistry::global();
+    tasks_total_ = &reg.counter("thread_pool_tasks_total", labels);
+    queue_depth_ = &reg.gauge("thread_pool_queue_depth", labels);
+    busy_workers_ = &reg.gauge("thread_pool_busy_workers", labels);
+    utilization_ = &reg.gauge("thread_pool_utilization", labels);
+    pool_size_ = &reg.gauge("thread_pool_size", labels);
+    task_wait_seconds_ = &reg.histogram("thread_pool_task_wait_seconds", labels);
+    task_run_seconds_ = &reg.histogram("thread_pool_task_run_seconds", labels);
+    chunk_size_ = &reg.histogram("parallel_for_chunk_size", labels,
+                                 obs::exponential_bounds(1.0, 4.0, 12));
+    pool_size_->set(static_cast<double>(num_threads));
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -26,22 +51,45 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      if (telemetry_) queue_depth_->set(static_cast<double>(tasks_.size()));
     }
-    task();
+    if (telemetry_) {
+      const std::uint64_t start_us = obs::monotonic_us();
+      task_wait_seconds_->observe(
+          static_cast<double>(start_us - task.enqueue_us) * 1e-6);
+      const double busy =
+          static_cast<double>(busy_.fetch_add(1, std::memory_order_relaxed) + 1);
+      busy_workers_->set(busy);
+      utilization_->set(busy / static_cast<double>(workers_.size()));
+      task.fn();
+      task_run_seconds_->observe(
+          static_cast<double>(obs::monotonic_us() - start_us) * 1e-6);
+      tasks_total_->increment();
+      const double busy_after =
+          static_cast<double>(busy_.fetch_sub(1, std::memory_order_relaxed) - 1);
+      busy_workers_->set(busy_after);
+      utilization_->set(busy_after / static_cast<double>(workers_.size()));
+    } else {
+      task.fn();
+    }
   }
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  Task t;
+  t.fn = std::move(task);
+  if (telemetry_) t.enqueue_us = obs::monotonic_us();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(t));
+    if (telemetry_) queue_depth_->set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_one();
 }
@@ -52,15 +100,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   const std::size_t num_chunks = std::min(n, workers_.size() * 4);
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  if (telemetry_) chunk_size_->observe(static_cast<double>(chunk));
+  TAAMR_TRACE_SPAN("util/parallel_for");
 
   std::atomic<std::size_t> remaining{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
-  std::size_t launched = 0;
   for (std::size_t lo = begin; lo < end; lo += chunk) {
     const std::size_t hi = std::min(end, lo + chunk);
-    ++launched;
     remaining.fetch_add(1, std::memory_order_relaxed);
     enqueue([lo, hi, &body, &remaining, &done_mutex, &done_cv] {
       for (std::size_t i = lo; i < hi; ++i) body(i);
@@ -70,7 +118,6 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       }
     });
   }
-  (void)launched;
 
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&remaining] {

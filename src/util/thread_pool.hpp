@@ -1,15 +1,25 @@
 // Fixed-size worker pool with a blocking parallel_for. Used to parallelize
 // the hot loops of the CNN (im2col GEMM batches, per-image attacks) without
 // taking a dependency on OpenMP.
+//
+// When any observability knob is set (obs::telemetry_enabled()) each pool
+// publishes queue-depth / busy-worker / utilization gauges, task wait/run
+// latency histograms and parallel_for chunk-size histograms to the metrics
+// registry under a {"pool": "<id>"} label, so GEMM/im2col/attack loops show
+// up in metrics dumps without per-callsite changes. On plain runs the
+// instrumentation reduces to a single branch per task.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace taamr {
 
@@ -35,14 +45,31 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_us = 0;  // only stamped when telemetry is on
+  };
+
   void worker_loop();
   void enqueue(std::function<void()> task);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Telemetry (null/unused unless obs::telemetry_enabled()).
+  bool telemetry_ = false;
+  std::atomic<std::int64_t> busy_{0};
+  obs::Counter* tasks_total_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* busy_workers_ = nullptr;
+  obs::Gauge* utilization_ = nullptr;
+  obs::Gauge* pool_size_ = nullptr;
+  obs::Histogram* task_wait_seconds_ = nullptr;
+  obs::Histogram* task_run_seconds_ = nullptr;
+  obs::Histogram* chunk_size_ = nullptr;
 };
 
 // Convenience wrapper over the global pool. Falls back to serial execution

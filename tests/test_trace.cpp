@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace taamr::obs {
+namespace {
+
+// Each test drives the process-global Trace session in collect-only mode
+// (empty path): enable, record, inspect to_json(), then clear + disable so
+// later tests start from a blank buffer.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::global().clear();
+    Trace::global().enable("");
+  }
+  void TearDown() override {
+    Trace::global().disable();
+    Trace::global().clear();
+  }
+};
+
+const json::Value* find_event(const json::Value& events, const std::string& name) {
+  for (const json::Value& e : events.array) {
+    const json::Value* n = e.find("name");
+    if (n != nullptr && n->str == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  Trace::global().disable();
+  { TAAMR_TRACE_SPAN("test/should_not_appear"); }
+  Trace::global().enable("");
+  const json::Value doc = json::parse(Trace::global().to_json());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(find_event(*events, "test/should_not_appear"), nullptr);
+}
+
+TEST_F(TraceTest, SpansProduceValidTraceEventJson) {
+  {
+    TAAMR_TRACE_SPAN("test/outer");
+    TAAMR_TRACE_SPAN("test/inner");
+  }
+  const std::string out = Trace::global().to_json();
+  const json::Value doc = json::parse(out);
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* unit = doc.find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->str, "ms");
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  for (const char* name : {"test/outer", "test/inner"}) {
+    const json::Value* e = find_event(*events, name);
+    ASSERT_NE(e, nullptr) << "missing event " << name;
+    EXPECT_EQ(e->find("ph")->str, "X");
+    EXPECT_EQ(e->find("cat")->str, "taamr");
+    ASSERT_NE(e->find("ts"), nullptr);
+    ASSERT_NE(e->find("dur"), nullptr);
+    ASSERT_NE(e->find("pid"), nullptr);
+    ASSERT_NE(e->find("tid"), nullptr);
+  }
+}
+
+TEST_F(TraceTest, NestedSpansAreContainedInParent) {
+  {
+    TAAMR_TRACE_SPAN("test/parent");
+    {
+      TAAMR_TRACE_SPAN("test/child_a");
+    }
+    {
+      TAAMR_TRACE_SPAN("test/child_b");
+    }
+  }
+  const json::Value doc = json::parse(Trace::global().to_json());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const json::Value* parent = find_event(*events, "test/parent");
+  const json::Value* child_a = find_event(*events, "test/child_a");
+  const json::Value* child_b = find_event(*events, "test/child_b");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child_a, nullptr);
+  ASSERT_NE(child_b, nullptr);
+
+  const double p_ts = parent->find("ts")->num;
+  const double p_end = p_ts + parent->find("dur")->num;
+  for (const json::Value* child : {child_a, child_b}) {
+    const double c_ts = child->find("ts")->num;
+    const double c_end = c_ts + child->find("dur")->num;
+    EXPECT_GE(c_ts, p_ts);
+    EXPECT_LE(c_end, p_end);
+    // Same thread: nesting on one tid is what renders as a flame graph.
+    EXPECT_EQ(child->find("tid")->num, parent->find("tid")->num);
+  }
+  // child_b opened after child_a closed.
+  EXPECT_GE(child_b->find("ts")->num,
+            child_a->find("ts")->num + child_a->find("dur")->num);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  {
+    TAAMR_TRACE_SPAN("test/main_thread");
+  }
+  std::thread worker([] { TAAMR_TRACE_SPAN("test/worker_thread"); });
+  worker.join();
+  const json::Value doc = json::parse(Trace::global().to_json());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const json::Value* main_ev = find_event(*events, "test/main_thread");
+  const json::Value* worker_ev = find_event(*events, "test/worker_thread");
+  ASSERT_NE(main_ev, nullptr);
+  ASSERT_NE(worker_ev, nullptr);  // buffer must survive the thread's exit
+  EXPECT_NE(main_ev->find("tid")->num, worker_ev->find("tid")->num);
+}
+
+TEST_F(TraceTest, ConcurrentRecordingStaysParseable) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 500; ++i) {
+        TAAMR_TRACE_SPAN("test/hammer");
+      }
+    });
+  }
+  // Merge snapshots while writers are active.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NO_THROW(json::parse(Trace::global().to_json()));
+  }
+  for (auto& t : threads) t.join();
+
+  const json::Value doc = json::parse(Trace::global().to_json());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t hammer_count = 0;
+  for (const json::Value& e : events->array) {
+    const json::Value* n = e.find("name");
+    if (n != nullptr && n->str == "test/hammer") ++hammer_count;
+  }
+  EXPECT_EQ(hammer_count, 4u * 500u);
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  {
+    TAAMR_TRACE_SPAN("test/before_clear");
+  }
+  Trace::global().clear();
+  const json::Value doc = json::parse(Trace::global().to_json());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(find_event(*events, "test/before_clear"), nullptr);
+}
+
+TEST_F(TraceTest, EscapesSpanNames) {
+  Trace::global().record("quote\"backslash\\tab\t", monotonic_us(), 1);
+  const std::string out = Trace::global().to_json();
+  const json::Value doc = json::parse(out);
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_NE(find_event(*events, "quote\"backslash\\tab\t"), nullptr);
+}
+
+}  // namespace
+}  // namespace taamr::obs
