@@ -21,6 +21,7 @@ constexpr double kAblationScale = 0.01;
 
 int main() {
   using namespace taamr;
+  bench::Reporter reporter("ablation_sweeps");
 
   core::PipelineConfig cfg = bench::experiment_config("Amazon Men").pipeline;
   cfg.scale = kAblationScale;
@@ -46,6 +47,9 @@ int main() {
       const auto after = recsys::top_n_lists(*vbpr, ds, n);
       const double chr_after = metrics::category_hit_ratio(after, ds, data::kSock, n);
       vbpr->set_item_features(pipeline.clean_features());
+      reporter.add_metric("ablation_chr_after", {{"sweep", "topn"}, {"n", std::to_string(n)}},
+                          chr_after);
+      reporter.add_examples(1.0);
       t.row({std::to_string(n), Table::fmt(chr_before * 100.0, 3),
              Table::fmt(chr_after * 100.0, 3),
              Table::fmt(chr_before > 0 ? chr_after / chr_before : 0.0, 2) + "x"});
@@ -70,8 +74,15 @@ int main() {
         const std::vector<std::int64_t> targets(items.size(), target);
         Rng rng(1234 + static_cast<std::uint64_t>(iters));
         const Tensor adv = attacker->perturb(pipeline.classifier(), clean, targets, rng);
-        row.push_back(Table::pct(
-            metrics::attack_success(pipeline.classifier(), adv, target).success_rate, 1));
+        const double sr =
+            metrics::attack_success(pipeline.classifier(), adv, target, "pgd").success_rate;
+        reporter.add_metric("ablation_success_rate",
+                            {{"sweep", "pgd_iters"},
+                             {"iters", std::to_string(iters)},
+                             {"target", data::category_name(target)}},
+                            sr);
+        reporter.add_examples(1.0);
+        row.push_back(Table::pct(sr, 1));
       }
       t.row(row);
     }
@@ -98,6 +109,10 @@ int main() {
       amr->set_item_features(attacked_features);
       const auto after = recsys::top_n_lists(*amr, ds, 100);
       const double chr_after = metrics::category_hit_ratio(after, ds, data::kSock, 100);
+      reporter.add_metric("ablation_chr_after",
+                          {{"sweep", "amr_gamma"}, {"gamma", Table::fmt(gamma, 1)}},
+                          chr_after);
+      reporter.add_examples(1.0);
       t.row({Table::fmt(gamma, 1), Table::fmt(auc, 3), Table::fmt(chr_before * 100.0, 3),
              Table::fmt(chr_after * 100.0, 3),
              Table::fmt(chr_before > 0 ? chr_after / chr_before : 0.0, 2) + "x"});
@@ -124,6 +139,12 @@ int main() {
       model->set_item_features(attacked_features);
       const auto after = recsys::top_n_lists(*model, ds, 100);
       const double chr_after = metrics::category_hit_ratio(after, ds, data::kSock, 100);
+      reporter.add_metric("ablation_chr_after",
+                          {{"sweep", "visual_factors"}, {"a", std::to_string(a)}},
+                          chr_after);
+      reporter.add_metric("ablation_auc",
+                          {{"sweep", "visual_factors"}, {"a", std::to_string(a)}}, auc);
+      reporter.add_examples(1.0);
       t.row({std::to_string(a), Table::fmt(auc, 3), Table::fmt(chr_before * 100.0, 3),
              Table::fmt(chr_after * 100.0, 3)});
     }

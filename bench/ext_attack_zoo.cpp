@@ -17,6 +17,7 @@
 
 int main() {
   using namespace taamr;
+  bench::Reporter reporter("ext_attack_zoo");
 
   core::PipelineConfig cfg = bench::experiment_config("Amazon Men").pipeline;
   cfg.scale = 0.01;
@@ -43,13 +44,18 @@ int main() {
 
   auto evaluate = [&](const std::string& name, const Tensor& adv) {
     const auto success =
-        metrics::attack_success(pipeline.classifier(), adv, target);
+        metrics::attack_success(pipeline.classifier(), adv, target, name);
     const auto visual =
         metrics::average_visual_quality(pipeline.classifier(), clean, adv);
     vbpr->set_item_features(pipeline.features_with_attack(items, adv));
     const auto lists = recsys::top_n_lists(*vbpr, ds, 100);
     const double chr = metrics::category_hit_ratio(lists, ds, source, 100);
     vbpr->set_item_features(pipeline.clean_features());
+    reporter.add_metric("success_rate", {{"attack", name}}, success.success_rate);
+    reporter.add_metric("chr_after_source", {{"attack", name}}, chr);
+    reporter.add_metric("psnr", {{"attack", name}}, visual.psnr);
+    reporter.add_metric("ssim", {{"attack", name}}, visual.ssim);
+    reporter.add_examples(static_cast<double>(items.size()));
     t.row({name, Table::pct(success.success_rate, 1), Table::fmt(chr * 100, 3),
            Table::fmt(visual.psnr, 2), Table::fmt(visual.ssim, 4),
            Table::fmt(visual.psm, 4)});

@@ -18,6 +18,7 @@
 
 int main() {
   using namespace taamr;
+  bench::Reporter reporter("ext_cf_baselines");
 
   core::PipelineConfig cfg = bench::experiment_config("Amazon Men").pipeline;
   cfg.scale = 0.01;
@@ -59,6 +60,10 @@ int main() {
       chr_after = metrics::category_hit_ratio(after, ds, data::kSock, 100);
       vbpr->set_item_features(pipeline.clean_features());
     }
+    reporter.add_metric("auc", {{"model", name}}, auc);
+    reporter.add_metric("hr", {{"model", name}}, hr);
+    reporter.add_metric("chr_after_source", {{"model", name}}, chr_after);
+    reporter.add_examples(1.0);
     t.row({name, Table::fmt(auc, 3), Table::fmt(hr, 3),
            Table::fmt(chr_before * 100, 3),
            uses_images ? Table::fmt(chr_after * 100, 3) : "(immune)"});

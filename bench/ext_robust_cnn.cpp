@@ -16,6 +16,7 @@
 
 int main() {
   using namespace taamr;
+  bench::Reporter reporter("ext_robust_cnn");
 
   core::PipelineConfig cfg = bench::experiment_config("Amazon Men").pipeline;
   cfg.scale = 0.01;
@@ -59,14 +60,17 @@ int main() {
     Rng r1(300 + static_cast<std::uint64_t>(eps)), r2(300 + static_cast<std::uint64_t>(eps));
     const Tensor adv_std = pgd.perturb(pipeline.classifier(), clean, targets, r1);
     const Tensor adv_rob = pgd.perturb(robust, clean, targets, r2);
-    t.row({Table::fmt(eps, 0),
-           Table::pct(metrics::attack_success(pipeline.classifier(), adv_std,
-                                              data::kRunningShoe)
-                          .success_rate,
-                      1),
-           Table::pct(
-               metrics::attack_success(robust, adv_rob, data::kRunningShoe).success_rate,
-               1)});
+    const double sr_std = metrics::attack_success(pipeline.classifier(), adv_std,
+                                                  data::kRunningShoe, "pgd")
+                              .success_rate;
+    const double sr_rob =
+        metrics::attack_success(robust, adv_rob, data::kRunningShoe, "pgd").success_rate;
+    reporter.add_metric("success_rate",
+                        {{"cnn", "standard"}, {"eps", Table::fmt(eps, 0)}}, sr_std);
+    reporter.add_metric("success_rate",
+                        {{"cnn", "robust"}, {"eps", Table::fmt(eps, 0)}}, sr_rob);
+    reporter.add_examples(static_cast<double>(2 * socks.size()));
+    t.row({Table::fmt(eps, 0), Table::pct(sr_std, 1), Table::pct(sr_rob, 1)});
   }
   t.print(std::cout);
 

@@ -17,6 +17,7 @@
 
 int main() {
   using namespace taamr;
+  bench::Reporter reporter("ext_transferability");
 
   core::PipelineConfig cfg = bench::experiment_config("Amazon Men").pipeline;
   cfg.scale = 0.01;
@@ -66,14 +67,18 @@ int main() {
       vbpr->set_item_features(pipeline.clean_features());
       return chr;
     };
-    t.row({Table::fmt(eps, 0),
-           Table::pct(metrics::attack_success(pipeline.classifier(), adv_white, target)
-                          .success_rate,
-                      1),
-           Table::pct(metrics::attack_success(pipeline.classifier(), adv_transfer,
-                                              target)
-                          .success_rate,
-                      1),
+    const double sr_white =
+        metrics::attack_success(pipeline.classifier(), adv_white, target, "pgd")
+            .success_rate;
+    const double sr_transfer =
+        metrics::attack_success(pipeline.classifier(), adv_transfer, target, "pgd")
+            .success_rate;
+    reporter.add_metric("success_rate",
+                        {{"access", "white-box"}, {"eps", Table::fmt(eps, 0)}}, sr_white);
+    reporter.add_metric("success_rate",
+                        {{"access", "transfer"}, {"eps", Table::fmt(eps, 0)}}, sr_transfer);
+    reporter.add_examples(static_cast<double>(2 * items.size()));
+    t.row({Table::fmt(eps, 0), Table::pct(sr_white, 1), Table::pct(sr_transfer, 1),
            Table::fmt(chr_after(adv_white) * 100, 3),
            Table::fmt(chr_after(adv_transfer) * 100, 3)});
   }

@@ -38,8 +38,19 @@ void export_images(const taamr::core::DatasetResults& results,
 
 int main() {
   using namespace taamr;
+  bench::Reporter reporter("fig2_example");
   for (const std::string dataset : {"Amazon Men", "Amazon Women"}) {
     const auto results = bench::results_for(dataset);
+    const obs::Labels ds = {{"dataset", results.dataset}};
+    reporter.add_metric("fig2_source_prob_before", ds,
+                        results.fig2.source_prob_before);
+    reporter.add_metric("fig2_target_prob_after", ds,
+                        results.fig2.target_prob_after);
+    reporter.add_metric("fig2_median_rank_before", ds,
+                        results.fig2.median_rank_before);
+    reporter.add_metric("fig2_median_rank_after", ds,
+                        results.fig2.median_rank_after);
+    reporter.add_examples(1.0);
     std::cout << core::fig2_text(results);
     export_images(results, dataset == "Amazon Men" ? "men" : "women");
     std::cout << "\n";

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "attack/attack.hpp"
+#include "bench_common.hpp"
 #include "data/amazon_synth.hpp"
 #include "data/dataset.hpp"
 #include "nn/classifier.hpp"
@@ -168,4 +169,13 @@ BENCHMARK(BM_RenderItemImage);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run also leaves a BENCH_micro_substrate.json
+// artifact (wall time + kernel FLOP/byte totals across all microbenchmarks).
+int main(int argc, char** argv) {
+  taamr::bench::Reporter reporter("micro_substrate");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 int main() {
   using namespace taamr;
+  bench::Reporter reporter("table1_dataset_stats");
   const double scale = bench::env_scale();
 
   std::vector<core::DatasetResults> stats;
@@ -17,6 +18,13 @@ int main() {
     r.dataset = ds.name;
     r.scale = scale;
     r.stats = data::compute_stats(ds);
+    reporter.add_metric("num_users", {{"dataset", ds.name}},
+                        static_cast<double>(r.stats.num_users));
+    reporter.add_metric("num_items", {{"dataset", ds.name}},
+                        static_cast<double>(r.stats.num_items));
+    reporter.add_metric("num_feedback", {{"dataset", ds.name}},
+                        static_cast<double>(r.stats.num_feedback));
+    reporter.add_examples(static_cast<double>(r.stats.num_items));
     stats.push_back(std::move(r));
   }
 

@@ -9,8 +9,10 @@
 
 int main() {
   using namespace taamr;
+  bench::Reporter reporter("table2_chr");
   for (const std::string dataset : {"Amazon Men", "Amazon Women"}) {
     const auto results = bench::results_for(dataset);
+    bench::report_results(reporter, results);
     core::table2_chr(results).print(std::cout);
     std::cout << "\n";
     core::baseline_chr_table(results).print(std::cout);

@@ -7,8 +7,10 @@
 
 int main() {
   using namespace taamr;
+  bench::Reporter reporter("table3_success");
   for (const std::string dataset : {"Amazon Men", "Amazon Women"}) {
     const auto results = bench::results_for(dataset);
+    bench::report_results(reporter, results);
     core::table3_success(results).print(std::cout);
     std::cout << "\n";
   }

@@ -1,0 +1,95 @@
+# Regression-gate integration test, run via
+#   cmake -DBENCH_BIN=... -DREPORT_BIN=... -DWORK_DIR=... -P BenchReportTest.cmake
+#
+# Drives the real pipeline twice: two runs of table2_chr at a small scale
+# (separate cache AND bench dirs, so the second run re-does the work instead
+# of loading the first run's cache), then
+#   1. asserts both runs produced a schema-valid BENCH_table2_chr.json,
+#   2. asserts the artifact carries nonzero GFLOP/s (kernel cost accounting
+#      actually fired),
+#   3. self-compares the runs with taamr_report --baseline — identical code
+#      on identical inputs must pass the gate (generous 60% threshold, the
+#      runs' only difference is timing noise),
+#   4. inflates the baseline's recorded gflops and wall and re-compares —
+#      the gate must now fail with a nonzero exit.
+cmake_minimum_required(VERSION 3.16)
+
+foreach(var BENCH_BIN REPORT_BIN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "BenchReportTest: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/run1" "${WORK_DIR}/run2")
+
+foreach(run run1 run2)
+  message(STATUS "BenchReportTest: ${run} of ${BENCH_BIN}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            TAAMR_SCALE=0.004
+            TAAMR_SEED=42
+            "TAAMR_CACHE_DIR=${WORK_DIR}/${run}/cache"
+            "TAAMR_BENCH_DIR=${WORK_DIR}/${run}"
+            ${BENCH_BIN}
+    RESULT_VARIABLE rc
+    OUTPUT_FILE "${WORK_DIR}/${run}/stdout.log"
+    ERROR_FILE "${WORK_DIR}/${run}/stderr.log"
+  )
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "BenchReportTest: bench run ${run} failed (rc=${rc})")
+  endif()
+  if(NOT EXISTS "${WORK_DIR}/${run}/BENCH_table2_chr.json")
+    message(FATAL_ERROR "BenchReportTest: ${run} produced no BENCH_table2_chr.json")
+  endif()
+endforeach()
+
+set(run1_json "${WORK_DIR}/run1/BENCH_table2_chr.json")
+set(run2_json "${WORK_DIR}/run2/BENCH_table2_chr.json")
+
+# 1. Schema validation of both artifacts.
+execute_process(
+  COMMAND ${REPORT_BIN} ${run1_json} ${run2_json} --check
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "BenchReportTest: --check rejected the artifacts (rc=${rc})")
+endif()
+
+# 2. Nonzero FLOP throughput: the artifact stores raw totals; a positive
+# flops_total together with a positive wall_seconds means gflops > 0.
+file(READ ${run1_json} run1_text)
+if(NOT run1_text MATCHES "\"flops_total\":[0-9]*\\.?[0-9]+e?[+0-9]*")
+  message(FATAL_ERROR "BenchReportTest: no flops_total in artifact")
+endif()
+if(run1_text MATCHES "\"flops_total\":0[,}]")
+  message(FATAL_ERROR "BenchReportTest: flops_total is zero — cost accounting did not fire")
+endif()
+
+# 3. Self-compare must pass: identical code, identical config, deterministic
+# tables; only wall time wiggles, hence the fat threshold.
+execute_process(
+  COMMAND ${REPORT_BIN} ${run2_json} --baseline ${run1_json} --threshold 60%
+          --out "${WORK_DIR}/report_self.md"
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "BenchReportTest: self-compare flagged a regression (rc=${rc})")
+endif()
+
+# 4. Inflate the baseline: prepending a digit makes the recorded flops_total
+# (hence GFLOP/s) at least 10x the truth, far past any threshold, so the
+# current run must now look like a >=90% throughput regression.
+string(REPLACE "\"flops_total\":" "\"flops_total\":9" inflated_text "${run1_text}")
+file(WRITE "${WORK_DIR}/inflated_baseline.json" "${inflated_text}")
+execute_process(
+  COMMAND ${REPORT_BIN} ${run2_json}
+          --baseline "${WORK_DIR}/inflated_baseline.json" --threshold 60%
+          --out "${WORK_DIR}/report_inflated.md"
+  RESULT_VARIABLE rc
+)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "BenchReportTest: inflated baseline was NOT flagged as a regression")
+endif()
+
+message(STATUS "BenchReportTest: PASS (gate accepts honest runs, rejects inflated baseline)")

@@ -54,7 +54,7 @@ int main() {
     Rng rng(100 + static_cast<std::uint64_t>(eps));
     const Tensor adv = fgsm->perturb(pipeline.classifier(), clean, true_labels, rng);
     const double moved =
-        metrics::misclassification_rate(pipeline.classifier(), adv, victim);
+        metrics::misclassification_rate(pipeline.classifier(), adv, victim, "fgsm");
 
     vbpr->set_item_features(pipeline.features_with_attack(items, adv));
     const auto lists_after = recsys::top_n_lists(*vbpr, dataset, top_n);

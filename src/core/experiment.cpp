@@ -168,7 +168,8 @@ DatasetResults run_dataset_experiment(const ExperimentConfig& config) {
     products.batch = pipeline.attack_category(s.source_category, s.target_category,
                                               kind, eps);
     products.success = metrics::attack_success(
-        pipeline.classifier(), products.batch.attacked_images, s.target_category);
+        pipeline.classifier(), products.batch.attacked_images, s.target_category,
+        attack::attack_kind_name(kind));
     products.visual = metrics::average_visual_quality(
         pipeline.classifier(), products.batch.clean_images,
         products.batch.attacked_images);

@@ -1,0 +1,278 @@
+#include "obs/bench_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace taamr::obs {
+
+namespace {
+
+void append_labels_json(std::ostringstream& os, const Labels& labels) {
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json::escape(k) << "\":\"" << json::escape(v) << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n\"schema_version\":" << kBenchSchemaVersion << ",\n\"name\":\""
+     << json::escape(name) << "\",\n\"config\":{"
+     << "\"scale\":" << json::number(scale) << ",\"seed\":" << seed
+     << ",\"threads\":" << threads << ",\"git_sha\":\"" << json::escape(git_sha)
+     << "\",\"build_type\":\"" << json::escape(build_type) << "\"},\n"
+     << "\"wall_seconds\":" << json::number(wall_seconds) << ",\n"
+     << "\"throughput\":{"
+     << "\"examples\":" << json::number(examples)
+     << ",\"examples_per_sec\":" << json::number(examples_per_sec())
+     << ",\"flops_total\":" << json::number(flops_total)
+     << ",\"gflops\":" << json::number(gflops())
+     << ",\"bytes_total\":" << json::number(bytes_total)
+     << ",\"gib_per_sec\":" << json::number(gib_per_sec()) << ",\"kernels\":[";
+  bool first = true;
+  for (const KernelCost& k : kernels) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"kernel\":\"" << json::escape(k.kernel)
+       << "\",\"flops\":" << json::number(k.flops)
+       << ",\"bytes\":" << json::number(k.bytes) << '}';
+  }
+  os << "]},\n\"memory\":{\"peak_rss_bytes\":" << peak_rss_bytes
+     << ",\"tensor_high_water_bytes\":" << tensor_high_water_bytes << "},\n"
+     << "\"metrics\":[";
+  first = true;
+  for (const BenchMetric& m : metrics) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"" << json::escape(m.name) << "\",\"labels\":";
+    append_labels_json(os, m.labels);
+    os << ",\"value\":" << json::number(m.value) << '}';
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+void BenchReport::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("BenchReport: cannot open " + path);
+  os << to_json();
+}
+
+namespace {
+
+const json::Value* require(const json::Value& obj, const char* key,
+                           json::Value::Type type, const std::string& where,
+                           std::vector<std::string>& errors) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) {
+    errors.push_back(where + ": missing key '" + key + "'");
+    return nullptr;
+  }
+  if (v->type != type) {
+    errors.push_back(where + ": key '" + key + "' has the wrong type");
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_bench_report(const json::Value& doc) {
+  std::vector<std::string> errors;
+  if (!doc.is_object()) {
+    errors.push_back("top level: expected an object");
+    return errors;
+  }
+  using T = json::Value::Type;
+  if (const json::Value* v =
+          require(doc, "schema_version", T::kNumber, "top level", errors)) {
+    if (static_cast<int>(v->num) != kBenchSchemaVersion) {
+      errors.push_back("schema_version: expected " +
+                       std::to_string(kBenchSchemaVersion) + ", got " +
+                       std::to_string(v->num));
+    }
+  }
+  require(doc, "name", T::kString, "top level", errors);
+  if (const json::Value* cfg =
+          require(doc, "config", T::kObject, "top level", errors)) {
+    require(*cfg, "scale", T::kNumber, "config", errors);
+    require(*cfg, "seed", T::kNumber, "config", errors);
+    require(*cfg, "threads", T::kNumber, "config", errors);
+    require(*cfg, "git_sha", T::kString, "config", errors);
+    require(*cfg, "build_type", T::kString, "config", errors);
+  }
+  if (const json::Value* v =
+          require(doc, "wall_seconds", T::kNumber, "top level", errors)) {
+    if (!(v->num >= 0.0)) errors.push_back("wall_seconds: must be >= 0");
+  }
+  if (const json::Value* tp =
+          require(doc, "throughput", T::kObject, "top level", errors)) {
+    for (const char* key :
+         {"examples", "examples_per_sec", "flops_total", "gflops",
+          "bytes_total", "gib_per_sec"}) {
+      if (const json::Value* v = require(*tp, key, T::kNumber, "throughput", errors)) {
+        if (!(v->num >= 0.0)) {
+          errors.push_back(std::string("throughput.") + key + ": must be >= 0");
+        }
+      }
+    }
+    if (const json::Value* ks =
+            require(*tp, "kernels", T::kArray, "throughput", errors)) {
+      for (std::size_t i = 0; i < ks->array.size(); ++i) {
+        const std::string where = "throughput.kernels[" + std::to_string(i) + "]";
+        if (!ks->array[i].is_object()) {
+          errors.push_back(where + ": expected an object");
+          continue;
+        }
+        require(ks->array[i], "kernel", T::kString, where, errors);
+        require(ks->array[i], "flops", T::kNumber, where, errors);
+        require(ks->array[i], "bytes", T::kNumber, where, errors);
+      }
+    }
+  }
+  if (const json::Value* mem =
+          require(doc, "memory", T::kObject, "top level", errors)) {
+    require(*mem, "peak_rss_bytes", T::kNumber, "memory", errors);
+    require(*mem, "tensor_high_water_bytes", T::kNumber, "memory", errors);
+  }
+  if (const json::Value* ms =
+          require(doc, "metrics", T::kArray, "top level", errors)) {
+    for (std::size_t i = 0; i < ms->array.size(); ++i) {
+      const std::string where = "metrics[" + std::to_string(i) + "]";
+      if (!ms->array[i].is_object()) {
+        errors.push_back(where + ": expected an object");
+        continue;
+      }
+      require(ms->array[i], "name", T::kString, where, errors);
+      require(ms->array[i], "labels", T::kObject, where, errors);
+      require(ms->array[i], "value", T::kNumber, where, errors);
+    }
+  }
+  return errors;
+}
+
+BenchReport parse_bench_report(const json::Value& doc) {
+  const std::vector<std::string> errors = validate_bench_report(doc);
+  if (!errors.empty()) {
+    std::string msg = "invalid bench report:";
+    for (const std::string& e : errors) msg += "\n  " + e;
+    throw std::runtime_error(msg);
+  }
+  BenchReport r;
+  r.name = doc.find("name")->str;
+  const json::Value& cfg = *doc.find("config");
+  r.scale = cfg.find("scale")->num;
+  r.seed = static_cast<std::uint64_t>(cfg.find("seed")->num);
+  r.threads = static_cast<std::int64_t>(cfg.find("threads")->num);
+  r.git_sha = cfg.find("git_sha")->str;
+  r.build_type = cfg.find("build_type")->str;
+  r.wall_seconds = doc.find("wall_seconds")->num;
+  const json::Value& tp = *doc.find("throughput");
+  r.examples = tp.find("examples")->num;
+  r.flops_total = tp.find("flops_total")->num;
+  r.bytes_total = tp.find("bytes_total")->num;
+  for (const json::Value& k : tp.find("kernels")->array) {
+    r.kernels.push_back(KernelCost{k.find("kernel")->str, k.find("flops")->num,
+                                   k.find("bytes")->num});
+  }
+  const json::Value& mem = *doc.find("memory");
+  r.peak_rss_bytes = static_cast<std::int64_t>(mem.find("peak_rss_bytes")->num);
+  r.tensor_high_water_bytes =
+      static_cast<std::int64_t>(mem.find("tensor_high_water_bytes")->num);
+  for (const json::Value& m : doc.find("metrics")->array) {
+    BenchMetric metric;
+    metric.name = m.find("name")->str;
+    for (const auto& [k, v] : m.find("labels")->object) {
+      metric.labels.emplace_back(k, v.str);
+    }
+    metric.value = m.find("value")->num;
+    r.metrics.push_back(std::move(metric));
+  }
+  return r;
+}
+
+namespace {
+
+std::string metric_key(const BenchMetric& m) {
+  Labels sorted = m.labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = m.name;
+  for (const auto& [k, v] : sorted) key += "{" + k + "=" + v + "}";
+  return key;
+}
+
+std::string pct(double ratio) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << ratio * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> compare_bench_reports(const BenchReport& baseline,
+                                               const BenchReport& current,
+                                               const CompareOptions& options) {
+  std::vector<std::string> regressions;
+  const double t = options.threshold;
+
+  if (baseline.wall_seconds > 0.0 &&
+      current.wall_seconds > baseline.wall_seconds * (1.0 + t)) {
+    regressions.push_back(
+        "wall_seconds: " + json::number(baseline.wall_seconds) + " -> " +
+        json::number(current.wall_seconds) + " (+" +
+        pct(current.wall_seconds / baseline.wall_seconds - 1.0) +
+        ", allowed +" + pct(t) + ")");
+  }
+  if (baseline.gflops() > 0.0 && current.gflops() < baseline.gflops() * (1.0 - t)) {
+    regressions.push_back("gflops: " + json::number(baseline.gflops()) + " -> " +
+                          json::number(current.gflops()) + " (" +
+                          pct(current.gflops() / baseline.gflops() - 1.0) +
+                          ", allowed -" + pct(t) + ")");
+  }
+  if (baseline.examples_per_sec() > 0.0 &&
+      current.examples_per_sec() < baseline.examples_per_sec() * (1.0 - t)) {
+    regressions.push_back(
+        "examples_per_sec: " + json::number(baseline.examples_per_sec()) +
+        " -> " + json::number(current.examples_per_sec()) + " (" +
+        pct(current.examples_per_sec() / baseline.examples_per_sec() - 1.0) +
+        ", allowed -" + pct(t) + ")");
+  }
+
+  std::vector<std::pair<std::string, double>> current_metrics;
+  current_metrics.reserve(current.metrics.size());
+  for (const BenchMetric& m : current.metrics) {
+    current_metrics.emplace_back(metric_key(m), m.value);
+  }
+  std::sort(current_metrics.begin(), current_metrics.end());
+  for (const BenchMetric& m : baseline.metrics) {
+    const std::string key = metric_key(m);
+    const auto it = std::lower_bound(
+        current_metrics.begin(), current_metrics.end(), key,
+        [](const auto& a, const std::string& k) { return a.first < k; });
+    if (it == current_metrics.end() || it->first != key) {
+      regressions.push_back("metric " + key + ": present in baseline, missing now");
+      continue;
+    }
+    const double denom = std::max(std::fabs(m.value), std::fabs(it->second));
+    if (denom == 0.0) continue;
+    const double rel = std::fabs(it->second - m.value) / denom;
+    if (rel > t) {
+      regressions.push_back("metric " + key + ": " + json::number(m.value) +
+                            " -> " + json::number(it->second) + " (drift " +
+                            pct(rel) + ", allowed " + pct(t) + ")");
+    }
+  }
+  return regressions;
+}
+
+}  // namespace taamr::obs

@@ -1,0 +1,117 @@
+// Machine-readable bench reports: the BENCH_<name>.json artifact every
+// bench binary writes next to its stdout table, plus schema validation and
+// baseline comparison (the regression gate behind tools/taamr_report).
+//
+// Schema (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "name": "table2_chr",
+//     "config": { "scale": 0.025, "seed": 42, "threads": 8,
+//                 "git_sha": "1dddfef", "build_type": "Release" },
+//     "wall_seconds": 123.4,
+//     "throughput": {
+//       "examples": 64,              // bench-defined work unit (grid cells,
+//       "examples_per_sec": 0.52,    // attacked items, ...); 0 = not set
+//       "flops_total": 1.2e12,       // from the tensor kernel cost counters
+//       "gflops": 9.7,
+//       "bytes_total": 3.4e11,
+//       "gib_per_sec": 2.6,
+//       "kernels": [ {"kernel": "gemm", "flops": ..., "bytes": ...}, ... ]
+//     },
+//     "memory": { "peak_rss_bytes": N, "tensor_high_water_bytes": N },
+//     "metrics": [ {"name": "chr_after_source",
+//                   "labels": {"dataset": "Amazon Men", ...},
+//                   "value": 0.0436}, ... ]   // the paper metrics
+//   }
+//
+// The struct lives in taamr_util (not bench/) so tools/taamr_report and the
+// test suite can exercise serialization, validation and comparison without
+// running a bench binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace taamr::obs {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+// One named + labeled scalar (a paper metric, or a per-kernel cost row).
+struct BenchMetric {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct KernelCost {
+  std::string kernel;
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+struct BenchReport {
+  std::string name;
+
+  // config
+  double scale = 0.0;
+  std::uint64_t seed = 0;
+  std::int64_t threads = 0;
+  std::string git_sha = "unknown";
+  std::string build_type = "unknown";
+
+  // perf
+  double wall_seconds = 0.0;
+  double examples = 0.0;
+  double flops_total = 0.0;
+  double bytes_total = 0.0;
+  std::vector<KernelCost> kernels;
+
+  // memory
+  std::int64_t peak_rss_bytes = 0;
+  std::int64_t tensor_high_water_bytes = 0;
+
+  std::vector<BenchMetric> metrics;
+
+  double gflops() const {
+    return wall_seconds > 0.0 ? flops_total / wall_seconds * 1e-9 : 0.0;
+  }
+  double gib_per_sec() const {
+    return wall_seconds > 0.0
+               ? bytes_total / wall_seconds / (1024.0 * 1024.0 * 1024.0)
+               : 0.0;
+  }
+  double examples_per_sec() const {
+    return wall_seconds > 0.0 ? examples / wall_seconds : 0.0;
+  }
+
+  std::string to_json() const;
+  void write_json_file(const std::string& path) const;
+};
+
+// Structural schema check; returns every violation found (empty = valid).
+std::vector<std::string> validate_bench_report(const json::Value& doc);
+
+// Parses a validated document into a BenchReport. Throws std::runtime_error
+// listing the schema violations when the document is invalid.
+BenchReport parse_bench_report(const json::Value& doc);
+
+struct CompareOptions {
+  // Allowed relative change before a difference counts as a regression.
+  double threshold = 0.10;
+};
+
+// Compares `current` against `baseline`. A regression is: wall time up by
+// more than the threshold, GFLOP/s or examples/sec down by more than the
+// threshold, a paper metric drifting by more than the threshold (relative
+// to the larger magnitude), or a baseline metric missing from `current`.
+// Returns one human-readable line per regression; empty = pass.
+std::vector<std::string> compare_bench_reports(const BenchReport& baseline,
+                                               const BenchReport& current,
+                                               const CompareOptions& options);
+
+}  // namespace taamr::obs

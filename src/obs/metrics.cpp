@@ -63,6 +63,32 @@ void Histogram::observe(double v) {
   }
 }
 
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double lo = min(), hi = max();
+  const double rank = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const double c = static_cast<double>(bucket_count(i));
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      // Bucket edges, tightened by the observed min/max so the open-ended
+      // first and overflow buckets interpolate over real data.
+      double lower = i == 0 ? lo : bounds_[i - 1];
+      double upper = i < bounds_.size() ? bounds_[i] : hi;
+      lower = std::max(lower, lo);
+      upper = std::min(upper, hi);
+      if (upper <= lower) return std::clamp(lower, lo, hi);
+      const double frac = (rank - cum) / c;
+      return std::clamp(lower + (upper - lower) * frac, lo, hi);
+    }
+    cum += c;
+  }
+  return hi;
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry([] {
     const char* path = std::getenv("TAAMR_METRICS_OUT");
@@ -185,7 +211,10 @@ std::string MetricsRegistry::to_json() const {
     if (n > 0) {
       os << ",\"min\":" << json::number(h.min())
          << ",\"max\":" << json::number(h.max())
-         << ",\"mean\":" << json::number(h.mean());
+         << ",\"mean\":" << json::number(h.mean())
+         << ",\"p50\":" << json::number(h.quantile(0.50))
+         << ",\"p90\":" << json::number(h.quantile(0.90))
+         << ",\"p99\":" << json::number(h.quantile(0.99));
     }
     os << ",\"buckets\":[";
     for (std::size_t i = 0; i <= h.bounds().size(); ++i) {

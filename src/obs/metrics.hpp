@@ -95,6 +95,13 @@ class Histogram {
     return n == 0 ? 0.0 : sum() / static_cast<double>(n);
   }
 
+  // Quantile estimate by linear interpolation inside the bucket holding the
+  // q-th observation (Prometheus histogram_quantile style, but with the
+  // tracked min/max tightening the first and overflow buckets). Weakly
+  // consistent like every other read; 0 when empty. See DESIGN.md §5 for
+  // the bucket boundaries this interpolates over.
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;  // sorted, strictly increasing
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1

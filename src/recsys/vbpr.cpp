@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/runlog.hpp"
 #include "obs/trace.hpp"
+#include "tensor/cost.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -133,6 +134,10 @@ void Vbpr::score_all(std::int64_t user, std::span<float> out) const {
     for (std::int64_t f = 0; f < a; ++f) s += alpha[f] * theta[f];
     out[static_cast<std::size_t>(i)] = s;
   }
+  // Two dots plus two bias adds per item; each score reads both factor rows.
+  cost::add(cost::Kernel::kRecsysScore,
+            static_cast<double>(num_items()) * static_cast<double>(2 * (k + a) + 2),
+            static_cast<double>(num_items()) * static_cast<double>(k + a) * 8.0);
 }
 
 float Vbpr::train_epoch(const data::ImplicitDataset& dataset, Rng& rng,

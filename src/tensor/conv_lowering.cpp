@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/cost.hpp"
+
 namespace taamr::conv {
 
 void ConvGeometry::validate() const {
@@ -24,6 +26,11 @@ Tensor im2col(const Tensor& image, const ConvGeometry& g) {
                                 " does not match geometry");
   }
   const std::int64_t oh = g.out_h(), ow = g.out_w(), k = g.kernel;
+  // Pure data movement: one read per gathered element, one write per
+  // column slot (padding slots are writes without reads; close enough).
+  cost::add(cost::Kernel::kIm2col, 0.0,
+            8.0 * static_cast<double>(g.patch_rows()) *
+                static_cast<double>(g.patch_cols()));
   Tensor cols({g.patch_rows(), g.patch_cols()});
   float* out = cols.data();
   const float* img = image.data();
@@ -62,6 +69,11 @@ Tensor col2im(const Tensor& columns, const ConvGeometry& g) {
                                 " does not match geometry");
   }
   const std::int64_t oh = g.out_h(), ow = g.out_w(), k = g.kernel;
+  // Scatter-accumulate back into the image: read + add per column element.
+  cost::add(cost::Kernel::kIm2col,
+            static_cast<double>(g.patch_rows()) * static_cast<double>(g.patch_cols()),
+            8.0 * static_cast<double>(g.patch_rows()) *
+                static_cast<double>(g.patch_cols()));
   Tensor image({g.in_channels, g.in_h, g.in_w});
   float* img = image.data();
   const float* cols = columns.data();

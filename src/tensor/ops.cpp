@@ -5,7 +5,24 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/cost.hpp"
+
 namespace taamr::ops {
+
+namespace {
+// Cost-accounting shorthands (see tensor/cost.hpp). Nominal counts: one
+// FLOP per output element for unary/binary maps, 2 per multiply-add.
+inline void book_elementwise(std::int64_t n, double flops_per_elem,
+                             double bytes_per_elem) {
+  cost::add(cost::Kernel::kElementwise, flops_per_elem * static_cast<double>(n),
+            bytes_per_elem * static_cast<double>(n));
+}
+inline void book_reduction(std::int64_t n, double flops_per_elem,
+                           double bytes_per_elem) {
+  cost::add(cost::Kernel::kReduction, flops_per_elem * static_cast<double>(n),
+            bytes_per_elem * static_cast<double>(n));
+}
+}  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
@@ -23,6 +40,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
+  book_elementwise(a.numel(), 1.0, 12.0);
   Tensor out = a;
   float* o = out.data();
   const float* p = b.data();
@@ -38,6 +56,7 @@ Tensor scale(const Tensor& a, float s) {
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
+  book_elementwise(a.numel(), 1.0, 8.0);
   Tensor out = a;
   for (float& v : out.storage()) v += s;
   return out;
@@ -45,6 +64,7 @@ Tensor add_scalar(const Tensor& a, float s) {
 
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
+  book_elementwise(a.numel(), 1.0, 12.0);
   float* o = a.data();
   const float* p = b.data();
   const std::int64_t n = a.numel();
@@ -53,6 +73,7 @@ void add_inplace(Tensor& a, const Tensor& b) {
 
 void sub_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub_inplace");
+  book_elementwise(a.numel(), 1.0, 12.0);
   float* o = a.data();
   const float* p = b.data();
   const std::int64_t n = a.numel();
@@ -60,11 +81,13 @@ void sub_inplace(Tensor& a, const Tensor& b) {
 }
 
 void scale_inplace(Tensor& a, float s) {
+  book_elementwise(a.numel(), 1.0, 8.0);
   for (float& v : a.storage()) v *= s;
 }
 
 void axpy_inplace(Tensor& a, float s, const Tensor& b) {
   check_same_shape(a, b, "axpy_inplace");
+  book_elementwise(a.numel(), 2.0, 12.0);
   float* o = a.data();
   const float* p = b.data();
   const std::int64_t n = a.numel();
@@ -78,6 +101,7 @@ Tensor apply(const Tensor& a, const std::function<float(float)>& f) {
 }
 
 void apply_inplace(Tensor& a, const std::function<float(float)>& f) {
+  book_elementwise(a.numel(), 1.0, 8.0);
   for (float& v : a.storage()) v = f(v);
 }
 
@@ -89,10 +113,12 @@ Tensor clamp(const Tensor& a, float lo, float hi) {
 
 void clamp_inplace(Tensor& a, float lo, float hi) {
   if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
+  book_elementwise(a.numel(), 2.0, 8.0);
   for (float& v : a.storage()) v = std::clamp(v, lo, hi);
 }
 
 Tensor sign(const Tensor& a) {
+  book_elementwise(a.numel(), 2.0, 8.0);
   Tensor out = a;
   for (float& v : out.storage()) v = (v > 0.0f) - (v < 0.0f);
   return out;
@@ -161,6 +187,12 @@ void matmul_accumulate(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a
                                 shape_to_string(c.shape()) + ", expected [" +
                                 std::to_string(m) + ", " + std::to_string(n) + "]");
   }
+  cost::add(cost::Kernel::kGemm,
+            2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                static_cast<double>(n),
+            4.0 * (static_cast<double>(m) * static_cast<double>(k) +
+                   static_cast<double>(k) * static_cast<double>(n) +
+                   2.0 * static_cast<double>(m) * static_cast<double>(n)));
   gemm_nn(c.data(), an.data(), bn.data(), m, k, n);
 }
 
@@ -182,6 +214,10 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
                                 shape_to_string(x.shape()));
   }
   const std::int64_t m = a.dim(0), n = a.dim(1);
+  cost::add(cost::Kernel::kGemm,
+            2.0 * static_cast<double>(m) * static_cast<double>(n),
+            4.0 * (static_cast<double>(m) * static_cast<double>(n) +
+                   static_cast<double>(n) + static_cast<double>(m)));
   Tensor y({m});
   for (std::int64_t i = 0; i < m; ++i) {
     const float* row = a.data() + i * n;
@@ -193,6 +229,7 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
 }
 
 float sum(const Tensor& a) {
+  book_reduction(a.numel(), 1.0, 4.0);
   double acc = 0.0;  // accumulate in double: these sums feed loss reporting
   for (float v : a.flat()) acc += v;
   return static_cast<float>(acc);
@@ -204,6 +241,7 @@ float mean(const Tensor& a) {
 }
 
 float max_abs(const Tensor& a) {
+  book_reduction(a.numel(), 2.0, 4.0);
   float m = 0.0f;
   for (float v : a.flat()) m = std::max(m, std::fabs(v));
   return m;
@@ -211,6 +249,7 @@ float max_abs(const Tensor& a) {
 
 float min(const Tensor& a) {
   if (a.numel() == 0) throw std::invalid_argument("min: empty tensor");
+  book_reduction(a.numel(), 1.0, 4.0);
   float m = std::numeric_limits<float>::infinity();
   for (float v : a.flat()) m = std::min(m, v);
   return m;
@@ -218,6 +257,7 @@ float min(const Tensor& a) {
 
 float max(const Tensor& a) {
   if (a.numel() == 0) throw std::invalid_argument("max: empty tensor");
+  book_reduction(a.numel(), 1.0, 4.0);
   float m = -std::numeric_limits<float>::infinity();
   for (float v : a.flat()) m = std::max(m, v);
   return m;
@@ -225,6 +265,7 @@ float max(const Tensor& a) {
 
 float dot(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "dot");
+  book_reduction(a.numel(), 2.0, 8.0);
   double acc = 0.0;
   const float* p = a.data();
   const float* q = b.data();
@@ -237,6 +278,7 @@ float l2_norm(const Tensor& a) { return std::sqrt(std::max(0.0f, dot(a, a))); }
 
 float squared_distance(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "squared_distance");
+  book_reduction(a.numel(), 3.0, 8.0);
   double acc = 0.0;
   const float* p = a.data();
   const float* q = b.data();
@@ -250,6 +292,7 @@ float squared_distance(const Tensor& a, const Tensor& b) {
 
 float linf_distance(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "linf_distance");
+  book_reduction(a.numel(), 3.0, 8.0);
   float m = 0.0f;
   const float* p = a.data();
   const float* q = b.data();
@@ -260,6 +303,7 @@ float linf_distance(const Tensor& a, const Tensor& b) {
 
 std::int64_t argmax(const Tensor& a) {
   if (a.numel() == 0) throw std::invalid_argument("argmax: empty tensor");
+  book_reduction(a.numel(), 1.0, 4.0);
   std::int64_t best = 0;
   float best_v = a[0];
   for (std::int64_t i = 1; i < a.numel(); ++i) {
@@ -273,6 +317,7 @@ std::int64_t argmax(const Tensor& a) {
 
 std::vector<std::int64_t> argmax_rows(const Tensor& a) {
   if (a.ndim() != 2) throw std::invalid_argument("argmax_rows: expected matrix");
+  book_reduction(a.numel(), 1.0, 4.0);
   const std::int64_t rows = a.dim(0), cols = a.dim(1);
   std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
   for (std::int64_t i = 0; i < rows; ++i) {
@@ -288,6 +333,7 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a) {
 
 Tensor softmax_rows(const Tensor& logits) {
   if (logits.ndim() != 2) throw std::invalid_argument("softmax_rows: expected matrix");
+  book_reduction(logits.numel(), 4.0, 8.0);
   const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
   Tensor out = logits;
   for (std::int64_t i = 0; i < rows; ++i) {

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tensor/cost.hpp"
+
 namespace taamr {
 
 std::string shape_to_string(const Shape& shape) {
@@ -27,7 +29,9 @@ std::int64_t shape_numel(const Shape& shape) {
 
 Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {
+  track_alloc();
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
@@ -35,6 +39,34 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
     throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
                                 " does not match shape " + shape_to_string(shape_));
   }
+  track_alloc();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    track_free();
+    shape_ = other.shape_;
+    data_ = other.data_;
+    track_alloc();
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    track_free();  // our buffer is released; other's moves over, books unchanged
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+  }
+  return *this;
+}
+
+void Tensor::track_alloc() const {
+  cost::track_alloc(static_cast<std::int64_t>(data_.capacity() * sizeof(float)));
+}
+
+void Tensor::track_free() const {
+  cost::track_free(static_cast<std::int64_t>(data_.capacity() * sizeof(float)));
 }
 
 Tensor& Tensor::reshape(Shape new_shape) {

@@ -22,6 +22,18 @@ class Tensor {
   explicit Tensor(Shape shape, float fill = 0.0f);
   Tensor(Shape shape, std::vector<float> data);
 
+  // The special members exist only to feed the tensor-allocator byte
+  // accounting (cost::tensor_bytes_in_use / high-water, see tensor/cost.hpp);
+  // value semantics are exactly the rule-of-zero ones. Moves transfer the
+  // buffer, so only copies and destruction touch the books.
+  ~Tensor() { track_free(); }
+  Tensor(const Tensor& other) : shape_(other.shape_), data_(other.data_) {
+    track_alloc();
+  }
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept;
+
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
   static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
   static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
@@ -76,6 +88,9 @@ class Tensor {
   std::string to_string(std::int64_t max_elems = 32) const;
 
  private:
+  void track_alloc() const;
+  void track_free() const;
+
   Shape shape_;
   std::vector<float> data_;
 };

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <string>
 
 #include "obs/trace.hpp"
+#include "util/logging.hpp"
 
 namespace taamr {
 
@@ -125,8 +127,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   });
 }
 
+std::size_t env_thread_count() {
+  if (const char* s = std::getenv("TAAMR_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end != s && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+    log_warn() << "ignoring malformed TAAMR_THREADS='" << s
+               << "', using hardware concurrency";
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(env_thread_count());
   return pool;
 }
 

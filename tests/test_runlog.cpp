@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/runlog.hpp"
+
+namespace taamr::obs {
+namespace {
+
+// RunLog::global() is process-wide; every test redirects it to its own temp
+// file and back to "" (disabled) when done, so tests stay independent and
+// nothing leaks into a TAAMR_RUN_LOG the environment may set.
+
+class RunLogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { RunLog::global().open(""); }
+
+  std::string temp_path(const std::string& tag) {
+    const auto dir = std::filesystem::temp_directory_path();
+    return (dir / ("taamr_runlog_test_" + tag + ".jsonl")).string();
+  }
+
+  std::vector<std::string> read_lines(const std::string& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  }
+};
+
+TEST_F(RunLogTest, EventWritesOneWellFormedJsonLine) {
+  const std::string path = temp_path("single");
+  std::filesystem::remove(path);
+  RunLog::global().open(path);
+  runlog("cnn_epoch", {{"epoch", 3.0}, {"loss", 0.42}, {"phase", "train"}});
+  RunLog::global().open("");
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const json::Value v = json::parse(lines[0]);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("event")->str, "cnn_epoch");
+  EXPECT_DOUBLE_EQ(v.find("epoch")->num, 3.0);
+  EXPECT_DOUBLE_EQ(v.find("loss")->num, 0.42);
+  EXPECT_EQ(v.find("phase")->str, "train");
+  EXPECT_NE(v.find("t_s"), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST_F(RunLogTest, DisabledLogWritesNothing) {
+  const std::string path = temp_path("disabled");
+  std::filesystem::remove(path);
+  RunLog::global().open("");  // env knob off
+  EXPECT_FALSE(RunLog::global().enabled());
+  runlog("should_not_appear", {{"x", 1.0}});
+  // No file should even be created.
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(RunLogTest, ConcurrentAppendsStayLineAtomic) {
+  const std::string path = temp_path("concurrent");
+  std::filesystem::remove(path);
+  RunLog::global().open(path);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        runlog("hammer", {{"thread", static_cast<double>(t)},
+                          {"i", static_cast<double>(i)},
+                          {"tag", "concurrent-append"}});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  RunLog::global().open("");
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  // Every line parses on its own — no interleaved torn writes.
+  std::vector<int> per_thread(kThreads, 0);
+  for (const std::string& line : lines) {
+    const json::Value v = json::parse(line);
+    ASSERT_TRUE(v.is_object()) << line;
+    EXPECT_EQ(v.find("event")->str, "hammer");
+    per_thread[static_cast<int>(v.find("thread")->num)]++;
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kPerThread);
+  std::filesystem::remove(path);
+}
+
+TEST_F(RunLogTest, AppendModePreservesEarlierRuns) {
+  const std::string path = temp_path("append");
+  std::filesystem::remove(path);
+  RunLog::global().open(path);
+  runlog("first_run", {});
+  // Re-opening the same path simulates a second process appending.
+  RunLog::global().open(path);
+  runlog("second_run", {});
+  RunLog::global().open("");
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(json::parse(lines[0]).find("event")->str, "first_run");
+  EXPECT_EQ(json::parse(lines[1]).find("event")->str, "second_run");
+  std::filesystem::remove(path);
+}
+
+TEST_F(RunLogTest, IntegralNumbersPrintWithoutDecimalPoint) {
+  const std::string path = temp_path("integral");
+  std::filesystem::remove(path);
+  RunLog::global().open(path);
+  runlog("fmt", {{"epoch", 7.0}, {"loss", 0.5}});
+  RunLog::global().open("");
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"epoch\":7,"), std::string::npos) << lines[0];
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace taamr::obs

@@ -138,7 +138,8 @@ int cmd_attack(const ArgParser& args) {
     attack_name = attacker->name();
   }
 
-  const auto success = metrics::attack_success(pipeline.classifier(), adv, target);
+  const auto success =
+      metrics::attack_success(pipeline.classifier(), adv, target, attack_name);
   const auto visual =
       metrics::average_visual_quality(pipeline.classifier(), clean, adv);
   const auto before = recsys::top_n_lists(*model, ds, cfg.top_n);

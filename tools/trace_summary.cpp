@@ -2,77 +2,23 @@
 //
 //   ./tools/trace_summary trace.json [top_k]
 //
-// Reads a Chrome trace_event document (as written by obs::Trace), derives
-// nesting per thread from event containment, and aggregates wall time,
-// self time (wall minus time spent in child spans) and call counts per span
-// name. Exits nonzero on a malformed file, so it doubles as a trace
+// Reads a Chrome trace_event document (as written by obs::Trace) via
+// obs::parse_trace_document, which rejects truncated or structurally
+// invalid files with a specific error, so this doubles as a trace
 // validator in the ctest quickstart check.
-#include <algorithm>
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
 #include <string>
-#include <vector>
 
-#include "obs/json.hpp"
+#include "obs/trace_stats.hpp"
 #include "util/table.hpp"
-
-namespace {
-
-struct Span {
-  std::string name;
-  std::uint64_t ts = 0;
-  std::uint64_t dur = 0;
-  std::uint64_t end() const { return ts + dur; }
-};
-
-struct NameStats {
-  std::uint64_t wall_us = 0;
-  std::uint64_t self_us = 0;
-  std::uint64_t count = 0;
-};
-
-// Self-time on one thread: events sorted by (ts asc, dur desc) visit parents
-// before their children; a stack of open spans attributes each span's
-// duration against its nearest enclosing parent.
-void accumulate_thread(std::vector<Span>& spans,
-                       std::map<std::string, NameStats>& stats) {
-  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
-    if (a.ts != b.ts) return a.ts < b.ts;
-    return a.dur > b.dur;
-  });
-  struct Open {
-    const Span* span;
-    std::uint64_t child_us = 0;
-  };
-  std::vector<Open> stack;
-  auto close_until = [&](std::uint64_t ts) {
-    while (!stack.empty() && stack.back().span->end() <= ts) {
-      const Open top = stack.back();
-      stack.pop_back();
-      NameStats& s = stats[top.span->name];
-      s.wall_us += top.span->dur;
-      s.self_us += top.span->dur - std::min(top.span->dur, top.child_us);
-      s.count += 1;
-      if (!stack.empty()) stack.back().child_us += top.span->dur;
-    }
-  };
-  for (const Span& span : spans) {
-    close_until(span.ts);
-    stack.push_back(Open{&span, 0});
-  }
-  close_until(UINT64_MAX);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using taamr::Table;
-  namespace json = taamr::obs::json;
+  namespace obs = taamr::obs;
 
   if (argc < 2 || argc > 3) {
     std::fprintf(stderr, "usage: %s <trace.json> [top_k]\n", argv[0]);
@@ -96,55 +42,20 @@ int main(int argc, char** argv) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
 
-  json::Value doc;
+  obs::TraceDocument doc;
   try {
-    doc = json::parse(buffer.str());
+    doc = obs::parse_trace_document(buffer.str());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "trace_summary: invalid JSON in '%s': %s\n", argv[1],
-                 e.what());
-    return 1;
-  }
-  const json::Value* events = doc.find("traceEvents");
-  if (events == nullptr || !events->is_array()) {
-    std::fprintf(stderr, "trace_summary: '%s' has no traceEvents array\n",
-                 argv[1]);
+    std::fprintf(stderr, "trace_summary: %s: %s\n", argv[1], e.what());
     return 1;
   }
 
-  std::map<int, std::vector<Span>> by_tid;
-  for (const json::Value& e : events->array) {
-    const json::Value* name = e.find("name");
-    const json::Value* ph = e.find("ph");
-    const json::Value* ts = e.find("ts");
-    const json::Value* dur = e.find("dur");
-    const json::Value* tid = e.find("tid");
-    if (name == nullptr || ph == nullptr || ts == nullptr || dur == nullptr ||
-        tid == nullptr) {
-      std::fprintf(stderr, "trace_summary: event missing a required key\n");
-      return 1;
-    }
-    if (ph->str != "X") continue;  // only complete events carry durations
-    by_tid[static_cast<int>(tid->num)].push_back(
-        Span{name->str, static_cast<std::uint64_t>(ts->num),
-             static_cast<std::uint64_t>(dur->num)});
-  }
-
-  std::map<std::string, NameStats> stats;
-  for (auto& [tid, spans] : by_tid) accumulate_thread(spans, stats);
-
-  std::vector<std::pair<std::string, NameStats>> ranked(stats.begin(),
-                                                        stats.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    return a.second.self_us > b.second.self_us;
-  });
-  if (static_cast<int>(ranked.size()) > top_k) {
+  auto ranked = obs::trace_top_spans(doc, static_cast<std::size_t>(-1));
+  std::printf("%zu events on %zu thread(s), %zu distinct span name(s)\n",
+              doc.total_events(), doc.by_tid.size(), ranked.size());
+  if (ranked.size() > static_cast<std::size_t>(top_k)) {
     ranked.resize(static_cast<std::size_t>(top_k));
   }
-
-  std::size_t total_events = 0;
-  for (const auto& [tid, spans] : by_tid) total_events += spans.size();
-  std::printf("%zu events on %zu thread(s), %zu distinct span name(s)\n",
-              total_events, by_tid.size(), stats.size());
 
   Table t("Top spans by self-time");
   t.header({"span", "self (ms)", "wall (ms)", "count", "self/call (ms)"});
