@@ -3,6 +3,10 @@
 // These document where the wall-clock of the table benches goes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
 #include "attack/attack.hpp"
 #include "bench_common.hpp"
 #include "data/amazon_synth.hpp"
@@ -167,6 +171,44 @@ void BM_RenderItemImage(benchmark::State& state) {
 }
 BENCHMARK(BM_RenderItemImage);
 
+// GEMM thread-scaling probe: times ops::gemm_nn_blocked against explicit
+// 1- and 4-worker pools and books single- vs multi-thread GFLOP/s (and the
+// speedup ratio) into the BENCH_micro_substrate.json artifact, which is
+// what the regression gate tracks across commits. Returns false if the
+// pooled result is not bitwise identical to the serial one.
+bool report_gemm_scaling(taamr::bench::Reporter& reporter) {
+  const std::int64_t n = 256;
+  const double flops_per_iter = 2.0 * static_cast<double>(n) * n * n;
+  Rng rng(10);
+  Tensor a({n, n}), b({n, n});
+  for (float& v : a.storage()) v = rng.uniform_f();
+  for (float& v : b.storage()) v = rng.uniform_f();
+  Tensor c_serial({n, n}), c_pooled({n, n});
+
+  const int iters = 6;
+  ThreadPool pool1(1), pool4(4);
+  const auto time_gflops = [&](Tensor& c, ThreadPool* pool) {
+    Stopwatch timer;
+    for (int it = 0; it < iters; ++it) {
+      std::fill(c.storage().begin(), c.storage().end(), 0.0f);
+      ops::gemm_nn_blocked(c.data(), a.data(), b.data(), n, n, n, pool);
+    }
+    return iters * flops_per_iter / timer.seconds() / 1e9;
+  };
+  const double g1 = time_gflops(c_serial, &pool1);
+  const double g4 = time_gflops(c_pooled, &pool4);
+  reporter.add_metric("gemm_gflops", {{"threads", "1"}}, g1);
+  reporter.add_metric("gemm_gflops", {{"threads", "4"}}, g4);
+  reporter.add_metric("gemm_speedup_4_over_1", {}, g4 / g1);
+
+  // Re-run serially (nullptr pool) and demand bit-identity with the pooled
+  // run — the kernel's panel decomposition must not change the math.
+  std::fill(c_serial.storage().begin(), c_serial.storage().end(), 0.0f);
+  ops::gemm_nn_blocked(c_serial.data(), a.data(), b.data(), n, n, n, nullptr);
+  return std::memcmp(c_serial.data(), c_pooled.data(),
+                     static_cast<std::size_t>(n * n) * sizeof(float)) == 0;
+}
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN() so the run also leaves a BENCH_micro_substrate.json
@@ -176,6 +218,10 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  if (!report_gemm_scaling(reporter)) {
+    std::fprintf(stderr, "gemm scaling probe: pooled result != serial result\n");
+    return 1;
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "metrics/chr.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "data/categories.hpp"
@@ -14,9 +15,13 @@ std::vector<double> category_hit_ratio_all(
     throw std::invalid_argument("category_hit_ratio: lists/users mismatch");
   }
   const std::int32_t k = data::num_categories();
+  // A catalog smaller than N can only fill num_items slots per list, so the
+  // denominator uses the achievable slot count — otherwise CHR would be
+  // silently deflated and the per-category values could never sum to 1.
+  const std::int64_t slots = std::min<std::int64_t>(n, dataset.num_items);
   std::vector<double> hits(static_cast<std::size_t>(k), 0.0);
   for (const auto& list : lists) {
-    if (static_cast<std::int64_t>(list.size()) > n) {
+    if (static_cast<std::int64_t>(list.size()) > slots) {
       throw std::invalid_argument("category_hit_ratio: a list is longer than N");
     }
     for (std::int32_t item : list) {
@@ -27,7 +32,7 @@ std::vector<double> category_hit_ratio_all(
           dataset.item_category[static_cast<std::size_t>(item)])];
     }
   }
-  const double denom = static_cast<double>(n) * static_cast<double>(dataset.num_users);
+  const double denom = static_cast<double>(slots) * static_cast<double>(dataset.num_users);
   for (double& h : hits) h /= denom;
   return hits;
 }

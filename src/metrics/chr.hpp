@@ -14,13 +14,16 @@
 namespace taamr::metrics {
 
 // CHR@N for one category. `lists` are per-user top-N lists (e.g. from
-// recsys::top_n_lists); n must be the N they were cut at.
+// recsys::top_n_lists); n must be the N they were cut at. When the catalog
+// has fewer than N items the lists are at most num_items long, and the
+// denominator uses that actual slot count min(N, num_items) per user.
 double category_hit_ratio(const std::vector<std::vector<std::int32_t>>& lists,
                           const data::ImplicitDataset& dataset, std::int32_t category,
                           std::int64_t n);
 
 // CHR@N for every category at once (single pass over the lists). The
-// entries sum to <= 1 (== 1 when every list is full length n).
+// entries sum to <= 1 (== 1 when every list fills all min(N, num_items)
+// recommendable slots).
 std::vector<double> category_hit_ratio_all(
     const std::vector<std::vector<std::int32_t>>& lists,
     const data::ImplicitDataset& dataset, std::int64_t n);

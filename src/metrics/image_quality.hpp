@@ -26,6 +26,14 @@ struct SsimConfig {
 };
 
 // Mean local SSIM over windows and channels, in [-1, 1]; 1 = identical.
+//
+// Border handling: the image is tiled with *non-overlapping* windows
+// anchored at the top-left, and only complete windows contribute. When H
+// (resp. W) is not a multiple of the window side, the trailing `H mod
+// window` rows (`W mod window` columns) are dropped from the statistic —
+// perturbations confined to that border strip leave the score unchanged.
+// If the image is smaller than the configured window in either dimension,
+// the window is clamped to min(window, H, W) so at least one tile fits.
 double ssim(const Tensor& a, const Tensor& b, const SsimConfig& config = {});
 
 // Perceptual Similarity Metric: squared distance of layer-e features

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
@@ -17,6 +18,20 @@ namespace taamr::nn {
 
 namespace {
 constexpr std::int64_t kInferenceBatch = 64;
+}
+
+std::int64_t feature_batch_size() {
+  static const std::int64_t batch = [] {
+    if (const char* s = std::getenv("TAAMR_FEATURE_BATCH")) {
+      char* end = nullptr;
+      const long v = std::strtol(s, &end, 10);
+      if (end != s && *end == '\0' && v > 0) return static_cast<std::int64_t>(v);
+      log_warn() << "ignoring malformed TAAMR_FEATURE_BATCH='" << s
+                 << "', using default " << kInferenceBatch;
+    }
+    return kInferenceBatch;
+  }();
+  return batch;
 }
 
 Tensor slice_rows(const Tensor& t, std::int64_t begin, std::int64_t end) {
@@ -166,7 +181,7 @@ double Classifier::evaluate_accuracy(const Tensor& images,
 }
 
 Tensor Classifier::features(const Tensor& images) {
-  return batched(images, kInferenceBatch, feature_dim(), [this](const Tensor& x) {
+  return batched(images, feature_batch_size(), feature_dim(), [this](const Tensor& x) {
     return model_.net.forward_to(x, model_.feature_end, false);
   });
 }

@@ -100,4 +100,9 @@ class Classifier {
 // Slices rows [begin, end) of a [N, ...] tensor into a new tensor.
 Tensor slice_rows(const Tensor& t, std::int64_t begin, std::int64_t end);
 
+// Batch size used by Classifier::features and the pipeline's catalog
+// extraction: TAAMR_FEATURE_BATCH if set to a positive integer, else 64.
+// Peak im2col scratch memory is O(this), independent of catalog size.
+std::int64_t feature_batch_size();
+
 }  // namespace taamr::nn

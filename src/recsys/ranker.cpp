@@ -21,25 +21,36 @@ std::vector<std::vector<std::int32_t>> top_n_lists(const Recommender& model,
   std::vector<std::vector<std::int32_t>> lists(
       static_cast<std::size_t>(dataset.num_users));
 
-  parallel_for(0, static_cast<std::size_t>(dataset.num_users), [&](std::size_t u) {
-    std::vector<float> scores(static_cast<std::size_t>(num_items));
-    model.score_all(static_cast<std::int64_t>(u), scores);
-    if (exclude_train) {
-      for (std::int32_t item : dataset.train[u]) {
-        scores[static_cast<std::size_t>(item)] = -std::numeric_limits<float>::infinity();
+  // Users are scored in tiles through Recommender::score_block so models
+  // with matrix structure batch a whole tile into GEMMs. Tiles run on the
+  // pool; the GEMMs inside then execute inline on the worker (nesting-safe)
+  // while a single-tile call still parallelizes inside the GEMM itself.
+  constexpr std::int64_t kUserTile = 64;
+  const std::int64_t num_tiles = (dataset.num_users + kUserTile - 1) / kUserTile;
+  parallel_for(0, static_cast<std::size_t>(num_tiles), [&](std::size_t t) {
+    const std::int64_t u0 = static_cast<std::int64_t>(t) * kUserTile;
+    const std::int64_t u1 = std::min(dataset.num_users, u0 + kUserTile);
+    std::vector<float> scores(static_cast<std::size_t>((u1 - u0) * num_items));
+    model.score_block(u0, u1, scores);
+    for (std::int64_t u = u0; u < u1; ++u) {
+      float* row = scores.data() + (u - u0) * num_items;
+      if (exclude_train) {
+        for (std::int32_t item : dataset.train[static_cast<std::size_t>(u)]) {
+          row[item] = -std::numeric_limits<float>::infinity();
+        }
       }
+      std::vector<std::int32_t> idx(static_cast<std::size_t>(num_items));
+      std::iota(idx.begin(), idx.end(), 0);
+      std::partial_sort(idx.begin(), idx.begin() + top, idx.end(),
+                        [row](std::int32_t a, std::int32_t b) {
+                          const float sa = row[a];
+                          const float sb = row[b];
+                          if (sa != sb) return sa > sb;
+                          return a < b;  // deterministic tie-break
+                        });
+      idx.resize(static_cast<std::size_t>(top));
+      lists[static_cast<std::size_t>(u)] = std::move(idx);
     }
-    std::vector<std::int32_t> idx(static_cast<std::size_t>(num_items));
-    std::iota(idx.begin(), idx.end(), 0);
-    std::partial_sort(idx.begin(), idx.begin() + top, idx.end(),
-                      [&scores](std::int32_t a, std::int32_t b) {
-                        const float sa = scores[static_cast<std::size_t>(a)];
-                        const float sb = scores[static_cast<std::size_t>(b)];
-                        if (sa != sb) return sa > sb;
-                        return a < b;  // deterministic tie-break
-                      });
-    idx.resize(static_cast<std::size_t>(top));
-    lists[u] = std::move(idx);
   });
   return lists;
 }

@@ -24,6 +24,13 @@ class Recommender {
   // fast path used by the ranker (amortizes per-user work).
   virtual void score_all(std::int64_t user, std::span<float> out) const = 0;
 
+  // Scores for users [u_begin, u_end) into out, row-major
+  // [u_end - u_begin, num_items()]. The ranker scores user tiles through
+  // this so models with matrix structure (VBPR/AMR) can batch the work
+  // into GEMMs; the default forwards to score_all per user.
+  virtual void score_block(std::int64_t u_begin, std::int64_t u_end,
+                           std::span<float> out) const;
+
   virtual std::string name() const = 0;
 };
 

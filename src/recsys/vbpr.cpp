@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -19,6 +20,15 @@ namespace taamr::recsys {
 
 namespace {
 inline float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+Tensor transposed_2d(const Tensor& t) {
+  const std::int64_t r = t.dim(0), c = t.dim(1);
+  Tensor out({c, r});
+  for (std::int64_t i = 0; i < r; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) out.at(j, i) = t.at(i, j);
+  }
+  return out;
+}
 }
 
 FeatureTransform FeatureTransform::fit(const Tensor& raw_features) {
@@ -86,6 +96,10 @@ void Vbpr::rebuild_caches() {
   // theta_i = E f_i for all items: [I, D] x [A, D]^T -> [I, A].
   theta_cache_ = ops::matmul(features_, embedding_, /*trans_a=*/false, /*trans_b=*/true);
   visual_bias_cache_ = ops::matvec(features_, visual_bias_);
+  // score_block right-hand sides, transposed once so every ranking pass
+  // runs plain NN GEMMs without re-materializing Q^T / Theta^T.
+  item_factors_t_ = transposed_2d(item_factors_);
+  theta_cache_t_ = transposed_2d(theta_cache_);
   caches_fresh_ = true;
 }
 
@@ -138,6 +152,42 @@ void Vbpr::score_all(std::int64_t user, std::span<float> out) const {
   cost::add(cost::Kernel::kRecsysScore,
             static_cast<double>(num_items()) * static_cast<double>(2 * (k + a) + 2),
             static_cast<double>(num_items()) * static_cast<double>(k + a) * 8.0);
+}
+
+void Vbpr::score_block(std::int64_t u_begin, std::int64_t u_end,
+                       std::span<float> out) const {
+  require_fresh_caches();
+  const std::int64_t items = num_items();
+  if (u_begin < 0 || u_end < u_begin || u_end > num_users() ||
+      static_cast<std::int64_t>(out.size()) != (u_end - u_begin) * items) {
+    throw std::invalid_argument("Vbpr::score_block: bad user range / output size");
+  }
+  const std::int64_t users = u_end - u_begin;
+  if (users == 0) return;
+  const std::int64_t k = config_.mf_factors, a = config_.visual_factors;
+
+  // Gather the block's user rows (contiguous in P / alpha) and run the two
+  // GEMMs against the cached transposes; the bias terms broadcast per item.
+  Tensor p_block({users, k});
+  std::memcpy(p_block.data(), user_factors_.data() + u_begin * k,
+              static_cast<std::size_t>(users * k) * sizeof(float));
+  Tensor a_block({users, a});
+  std::memcpy(a_block.data(), user_visual_.data() + u_begin * a,
+              static_cast<std::size_t>(users * a) * sizeof(float));
+  Tensor s = ops::matmul(p_block, item_factors_t_);        // [U_b, I]
+  ops::matmul_accumulate(s, a_block, theta_cache_t_);      // += alpha Theta^T
+  for (std::int64_t r = 0; r < users; ++r) {
+    const float* srow = s.data() + r * items;
+    float* orow = out.data() + r * items;
+    for (std::int64_t i = 0; i < items; ++i) {
+      orow[i] = srow[i] + item_bias_[i] + visual_bias_cache_[i];
+    }
+  }
+  // The GEMMs book themselves under the gemm family; the bias broadcast is
+  // the remaining per-score work.
+  cost::add(cost::Kernel::kRecsysScore,
+            static_cast<double>(users) * static_cast<double>(items) * 2.0,
+            static_cast<double>(users) * static_cast<double>(items) * 12.0);
 }
 
 float Vbpr::train_epoch(const data::ImplicitDataset& dataset, Rng& rng,

@@ -71,6 +71,11 @@ class Vbpr : public Recommender {
   std::int64_t num_items() const override { return item_factors_.dim(0); }
   float score(std::int64_t user, std::int32_t item) const override;
   void score_all(std::int64_t user, std::span<float> out) const override;
+  // Batched scoring of a user block as two GEMMs over the cached item
+  // matrices: S = P_b Q^T + A_b Theta^T + (b_i + beta.f_i) broadcast.
+  // Routes ranking through the blocked GEMM kernel.
+  void score_block(std::int64_t u_begin, std::int64_t u_end,
+                   std::span<float> out) const override;
   std::string name() const override { return "VBPR"; }
 
   std::int64_t feature_dim() const { return features_.dim(1); }
@@ -104,6 +109,10 @@ class Vbpr : public Recommender {
   Tensor visual_bias_;    // beta: [D]
   Tensor theta_cache_;        // [I, A]
   Tensor visual_bias_cache_;  // [I]
+  // Transposed copies of Q and Theta for score_block's GEMMs ([K, I] and
+  // [A, I]); refreshed by rebuild_caches alongside the caches above.
+  Tensor item_factors_t_;  // [K, I]
+  Tensor theta_cache_t_;   // [A, I]
   bool caches_fresh_ = false;
   TripletSampler sampler_;
 

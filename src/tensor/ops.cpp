@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "tensor/cost.hpp"
+#include "util/thread_pool.hpp"
 
 namespace taamr::ops {
 
@@ -133,15 +134,23 @@ void require_matrix(const Tensor& t, const char* name) {
   }
 }
 
-// Inner kernel: C[m,n] += A[m,k] * B[k,n], all plain row-major, i-k-j loop
-// order so the innermost loop streams both B and C rows.
-void gemm_nn(float* c, const float* a, const float* b, std::int64_t m,
-             std::int64_t k, std::int64_t n) {
-  constexpr std::int64_t kBlock = 64;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::int64_t i1 = std::min(m, i0 + kBlock);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kBlock) {
-      const std::int64_t p1 = std::min(k, p0 + kBlock);
+// Cache block for rows and the k dimension; the row-panel width handed to
+// each parallel task equals one i-block, so a panel's per-row loop order is
+// exactly the serial kernel's (bitwise-identical outputs at any pool size).
+constexpr std::int64_t kGemmBlock = 64;
+// Below this nominal FLOP count a launch stays serial: chunk bookkeeping
+// and the enqueue round-trip would outweigh the multiply-adds.
+constexpr double kGemmParallelMinFlops = 1.5e6;
+
+// Serial panel kernel: C[i_begin:i_end, :] += A[i_begin:i_end, :] * B,
+// i-k-j loop order so the innermost loop streams both B and C rows.
+void gemm_nn_panel(float* c, const float* a, const float* b,
+                   std::int64_t i_begin, std::int64_t i_end, std::int64_t k,
+                   std::int64_t n) {
+  for (std::int64_t i0 = i_begin; i0 < i_end; i0 += kGemmBlock) {
+    const std::int64_t i1 = std::min(i_end, i0 + kGemmBlock);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kGemmBlock) {
+      const std::int64_t p1 = std::min(k, p0 + kGemmBlock);
       for (std::int64_t i = i0; i < i1; ++i) {
         float* crow = c + i * n;
         const float* arow = a + i * k;
@@ -166,6 +175,22 @@ Tensor transposed(const Tensor& t) {
 }
 
 }  // namespace
+
+void gemm_nn_blocked(float* c, const float* a, const float* b, std::int64_t m,
+                     std::int64_t k, std::int64_t n, ThreadPool* pool) {
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n);
+  const std::int64_t num_panels = (m + kGemmBlock - 1) / kGemmBlock;
+  if (pool == nullptr || pool->size() <= 1 || num_panels <= 1 ||
+      flops < kGemmParallelMinFlops) {
+    gemm_nn_panel(c, a, b, 0, m, k, n);
+    return;
+  }
+  pool->parallel_for(0, static_cast<std::size_t>(num_panels), [&](std::size_t p) {
+    const std::int64_t i0 = static_cast<std::int64_t>(p) * kGemmBlock;
+    gemm_nn_panel(c, a, b, i0, std::min(m, i0 + kGemmBlock), k, n);
+  });
+}
 
 void matmul_accumulate(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
                        bool trans_b) {
@@ -193,7 +218,7 @@ void matmul_accumulate(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a
             4.0 * (static_cast<double>(m) * static_cast<double>(k) +
                    static_cast<double>(k) * static_cast<double>(n) +
                    2.0 * static_cast<double>(m) * static_cast<double>(n)));
-  gemm_nn(c.data(), an.data(), bn.data(), m, k, n);
+  gemm_nn_blocked(c.data(), an.data(), bn.data(), m, k, n, &ThreadPool::global());
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {

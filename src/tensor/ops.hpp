@@ -7,6 +7,10 @@
 
 #include "tensor/tensor.hpp"
 
+namespace taamr {
+class ThreadPool;
+}
+
 namespace taamr::ops {
 
 // ---- elementwise -----------------------------------------------------------
@@ -37,9 +41,18 @@ Tensor sign(const Tensor& a);
 
 // C = op(A) * op(B) where op is optional transposition. A is [m, k] (or
 // [k, m] if trans_a), B is [k, n] (or [n, k] if trans_b). Cache-blocked
-// i-k-j kernel; good enough to train the MiniResNet in seconds.
+// i-k-j kernel, parallelized over row panels on the global thread pool for
+// large launches (nested calls from pool workers run inline).
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
+
+// Low-level blocked GEMM: C += A[m, k] * B[k, n], all plain row-major.
+// Row panels execute on `pool` when the launch is large enough (nullptr =
+// always serial). The output is bitwise-identical for every pool size —
+// panels partition the rows and each row's accumulation order is fixed —
+// so serial and parallel runs of the same shapes agree exactly.
+void gemm_nn_blocked(float* c, const float* a, const float* b, std::int64_t m,
+                     std::int64_t k, std::int64_t n, ThreadPool* pool);
 
 // C += op(A) * op(B); C must already have the right shape.
 void matmul_accumulate(Tensor& c, const Tensor& a, const Tensor& b,

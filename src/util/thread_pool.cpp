@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "obs/trace.hpp"
@@ -10,7 +11,49 @@
 
 namespace taamr {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+namespace {
+
+// Which pool (if any) the current thread is a worker of. parallel_for uses
+// this to run nested ranges inline instead of blocking the worker on its
+// own pool's queue.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+// Shared state of one parallel_for launch. Heap-allocated and owned via
+// shared_ptr: helper tasks may still sit in the queue after the caller has
+// drained every chunk and returned, and must find live atomics to bounce
+// off (they then claim past num_chunks and exit without touching body).
+struct ParallelForState {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  std::size_t num_chunks = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> chunks_done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+};
+
+// Claims chunks until none are left. Runs on the caller and on every
+// helper task; whichever thread completes the last chunk notifies.
+void run_chunks(ParallelForState& st) {
+  for (;;) {
+    const std::size_t c = st.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= st.num_chunks) return;
+    const std::size_t lo = st.begin + c * st.chunk;
+    const std::size_t hi = std::min(st.end, lo + st.chunk);
+    for (std::size_t i = lo; i < hi; ++i) (*st.body)(i);
+    if (st.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        st.num_chunks) {
+      std::lock_guard<std::mutex> lock(st.done_mutex);
+      st.done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, bool force_telemetry) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -19,7 +62,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   // worker threads may safely record into them right up to join().
   obs::Trace& trace = obs::Trace::global();
   (void)trace;
-  telemetry_ = obs::telemetry_enabled();
+  telemetry_ = force_telemetry || obs::telemetry_enabled();
   if (telemetry_) {
     static std::atomic<int> next_pool_id{0};
     const obs::Labels labels = {
@@ -51,7 +94,26 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::in_worker_thread() const { return tls_worker_pool == this; }
+
+void ThreadPool::publish_busy_delta(int delta) {
+  std::lock_guard<std::mutex> lock(gauge_mutex_);
+  busy_ += delta;
+  const double busy = static_cast<double>(busy_);
+  busy_workers_->set(busy);
+  utilization_->set(busy / static_cast<double>(workers_.size()));
+}
+
+double ThreadPool::busy_workers_value() const {
+  return busy_workers_ != nullptr ? busy_workers_->value() : 0.0;
+}
+
+double ThreadPool::utilization_value() const {
+  return utilization_ != nullptr ? utilization_->value() : 0.0;
+}
+
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     Task task;
     {
@@ -66,18 +128,12 @@ void ThreadPool::worker_loop() {
       const std::uint64_t start_us = obs::monotonic_us();
       task_wait_seconds_->observe(
           static_cast<double>(start_us - task.enqueue_us) * 1e-6);
-      const double busy =
-          static_cast<double>(busy_.fetch_add(1, std::memory_order_relaxed) + 1);
-      busy_workers_->set(busy);
-      utilization_->set(busy / static_cast<double>(workers_.size()));
+      publish_busy_delta(+1);
       task.fn();
       task_run_seconds_->observe(
           static_cast<double>(obs::monotonic_us() - start_us) * 1e-6);
       tasks_total_->increment();
-      const double busy_after =
-          static_cast<double>(busy_.fetch_sub(1, std::memory_order_relaxed) - 1);
-      busy_workers_->set(busy_after);
-      utilization_->set(busy_after / static_cast<double>(workers_.size()));
+      publish_busy_delta(-1);
     } else {
       task.fn();
     }
@@ -99,31 +155,37 @@ void ThreadPool::enqueue(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
+  if (in_worker_thread()) {
+    // Nested launch from one of our own workers: run inline. Blocking here
+    // would park the worker on done_cv while its chunks starve in the very
+    // queue it is supposed to drain.
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
   const std::size_t n = end - begin;
-  const std::size_t num_chunks = std::min(n, workers_.size() * 4);
-  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  const std::size_t max_chunks = std::min(n, (workers_.size() + 1) * 4);
+  const std::size_t chunk = (n + max_chunks - 1) / max_chunks;
   if (telemetry_) chunk_size_->observe(static_cast<double>(chunk));
   TAAMR_TRACE_SPAN("util/parallel_for");
 
-  std::atomic<std::size_t> remaining{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  auto st = std::make_shared<ParallelForState>();
+  st->begin = begin;
+  st->end = end;
+  st->chunk = chunk;
+  st->num_chunks = (n + chunk - 1) / chunk;
+  st->body = &body;
 
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
-    const std::size_t hi = std::min(end, lo + chunk);
-    remaining.fetch_add(1, std::memory_order_relaxed);
-    enqueue([lo, hi, &body, &remaining, &done_mutex, &done_cv] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
-    });
+  // One claim-loop helper per worker, capped at the chunk count. Helpers
+  // are an acceleration, not a requirement: the caller claims below too.
+  const std::size_t helpers = std::min(workers_.size(), st->num_chunks);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    enqueue([st] { run_chunks(*st); });
   }
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&remaining] {
-    return remaining.load(std::memory_order_acquire) == 0;
+  run_chunks(*st);
+  std::unique_lock<std::mutex> lock(st->done_mutex);
+  st->done_cv.wait(lock, [&st] {
+    return st->chunks_done.load(std::memory_order_acquire) == st->num_chunks;
   });
 }
 

@@ -1,6 +1,16 @@
 // Fixed-size worker pool with a blocking parallel_for. Used to parallelize
-// the hot loops of the CNN (im2col GEMM batches, per-image attacks) without
-// taking a dependency on OpenMP.
+// the hot loops of the CNN (im2col GEMM batches, per-image attacks) and the
+// blocked GEMM row panels without taking a dependency on OpenMP.
+//
+// parallel_for is safe to nest and safe to issue while every worker is
+// busy:
+//   * The calling thread participates: chunks are claimed from a shared
+//     counter, and the caller claims alongside the workers, so completion
+//     never depends on a worker being free (caller-runs guarantee).
+//   * A parallel_for issued from inside one of this pool's own workers
+//     runs its range inline instead of blocking on the pool — blocking
+//     there is how nested waits used to starve their own queued chunks and
+//     deadlock the pool.
 //
 // When any observability knob is set (obs::telemetry_enabled()) each pool
 // publishes queue-depth / busy-worker / utilization gauges, task wait/run
@@ -25,8 +35,9 @@ namespace taamr {
 
 class ThreadPool {
  public:
-  // 0 means hardware_concurrency (at least 1).
-  explicit ThreadPool(std::size_t num_threads = 0);
+  // 0 means hardware_concurrency (at least 1). force_telemetry publishes
+  // the pool gauges even when no observability env knob is set (tests).
+  explicit ThreadPool(std::size_t num_threads = 0, bool force_telemetry = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -37,9 +48,19 @@ class ThreadPool {
   // Runs body(i) for i in [begin, end), blocking until all iterations are
   // done. Iterations are chunked; body must be safe to run concurrently
   // for distinct i. Exceptions in body terminate (keep bodies noexcept in
-  // spirit).
+  // spirit). Safe to call from inside a body running on this pool: the
+  // nested range executes inline on the calling worker.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
+
+  // True when the calling thread is one of this pool's workers.
+  bool in_worker_thread() const;
+
+  // Current values of the busy-worker / utilization gauges (0 when
+  // telemetry is off). Publication is serialized, so once the pool is idle
+  // these read exactly 0.
+  double busy_workers_value() const;
+  double utilization_value() const;
 
   // Process-wide shared pool.
   static ThreadPool& global();
@@ -52,6 +73,7 @@ class ThreadPool {
 
   void worker_loop();
   void enqueue(std::function<void()> task);
+  void publish_busy_delta(int delta);
 
   std::vector<std::thread> workers_;
   std::queue<Task> tasks_;
@@ -59,9 +81,13 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 
-  // Telemetry (null/unused unless obs::telemetry_enabled()).
+  // Telemetry (null/unused unless obs::telemetry_enabled() or forced).
   bool telemetry_ = false;
-  std::atomic<std::int64_t> busy_{0};
+  // Serializes busy/utilization publication so the gauges always reflect
+  // the post-update count; lock-free publication let two workers publish
+  // out of order and stick the gauge nonzero at idle.
+  std::mutex gauge_mutex_;
+  std::int64_t busy_ = 0;  // guarded by gauge_mutex_
   obs::Counter* tasks_total_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Gauge* busy_workers_ = nullptr;

@@ -55,6 +55,28 @@ TEST(Chr, EmptyCategoryIsZero) {
   EXPECT_EQ(metrics::category_hit_ratio(lists, ds, 5, 3), 0.0);
 }
 
+// Regression: with fewer items than N, the denominator must be the number
+// of slots actually recommendable, min(N, num_items), not N itself.
+TEST(Chr, SmallCatalogUsesActualSlotCount) {
+  data::ImplicitDataset ds;
+  ds.name = "chr-small";
+  ds.num_users = 2;
+  ds.num_items = 2;
+  ds.item_category = {0, 1};
+  ds.item_image_seed = {0, 1};
+  ds.train = {{}, {}};
+  ds.test = {-1, -1};
+  const std::vector<std::vector<std::int32_t>> lists = {{0, 1}, {1, 0}};
+  // slots = min(5, 2) = 2, so CHR@5(cat0) = (1 + 1) / (2 * 2) = 0.5 —
+  // the old N-based denominator would have reported 2/10 = 0.2.
+  EXPECT_NEAR(metrics::category_hit_ratio(lists, ds, 0, 5), 0.5, 1e-9);
+  EXPECT_NEAR(metrics::category_hit_ratio(lists, ds, 1, 5), 0.5, 1e-9);
+  const auto all = metrics::category_hit_ratio_all(lists, ds, 5);
+  double total = 0.0;
+  for (double v : all) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);  // full lists => categories sum to 1
+}
+
 TEST(Chr, ValidatesArguments) {
   const auto ds = make_dataset();
   const std::vector<std::vector<std::int32_t>> lists = {{1}, {2}};

@@ -97,6 +97,42 @@ TEST(Ssim, ConstantShiftBarelyAffectsStructure) {
   EXPECT_GT(metrics::ssim(a, shifted), metrics::ssim(a, noisy));
 }
 
+TEST(Ssim, DropsBorderWhenWindowDoesNotDivide) {
+  // 5x5 image, window 4: only the top-left 4x4 tile contributes; the
+  // trailing row 4 and column 4 are outside every complete window.
+  Rng rng(130);
+  Tensor a({1, 5, 5});
+  testing::fill_uniform(a, rng, 0.2f, 0.8f);
+  metrics::SsimConfig cfg;
+  cfg.window = 4;
+  Tensor border_only = a;
+  for (std::int64_t x = 0; x < 5; ++x) border_only.at(0, 4, x) += 0.3f;
+  for (std::int64_t y = 0; y < 4; ++y) border_only.at(0, y, 4) += 0.3f;
+  EXPECT_NEAR(metrics::ssim(a, border_only, cfg), 1.0, 1e-9);
+
+  // And the score equals SSIM of the cropped 4x4 interior.
+  Tensor b = a;
+  Rng nrng(131);
+  for (float& v : b.storage()) v += nrng.gaussian_f(0.0f, 0.05f);
+  Tensor a_crop({1, 4, 4}), b_crop({1, 4, 4});
+  for (std::int64_t y = 0; y < 4; ++y) {
+    for (std::int64_t x = 0; x < 4; ++x) {
+      a_crop.at(0, y, x) = a.at(0, y, x);
+      b_crop.at(0, y, x) = b.at(0, y, x);
+    }
+  }
+  EXPECT_NEAR(metrics::ssim(a, b, cfg), metrics::ssim(a_crop, b_crop, cfg), 1e-9);
+}
+
+TEST(Ssim, WindowClampsToImageSize) {
+  // Image smaller than the window: the window clamps to min(window, H, W)
+  // instead of throwing or returning an empty average.
+  Tensor a({1, 3, 3}, 0.5f);
+  metrics::SsimConfig cfg;
+  cfg.window = 8;
+  EXPECT_NEAR(metrics::ssim(a, a, cfg), 1.0, 1e-9);
+}
+
 TEST(Ssim, ValidatesInput) {
   Tensor a({3, 16, 16});
   EXPECT_THROW(metrics::ssim(a, Tensor({3, 8, 8})), std::invalid_argument);

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "tensor/ops.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace taamr {
 namespace {
@@ -103,6 +105,26 @@ TEST_P(MatmulTranspose, MatchesNaive) {
 
 INSTANTIATE_TEST_SUITE_P(AllVariants, MatmulTranspose,
                          ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+// The parallel kernel partitions rows into kGemmBlock-wide panels that
+// coincide with the serial i-blocks, so the per-element accumulation order
+// is identical and the result must match the serial run bit for bit.
+TEST(Ops, BlockedGemmBitwiseIdenticalAcrossPools) {
+  Rng rng(9);
+  // 2*m*k*n = 2.048e6 FLOPs clears the parallel threshold; m = 160 spans
+  // 3 row panels so the work actually splits.
+  const std::int64_t m = 160, k = 80, n = 80;
+  Tensor a({m, k}), b({k, n});
+  fill_uniform(a, rng);
+  fill_uniform(b, rng);
+  Tensor serial({m, n}), pooled({m, n});
+  ops::gemm_nn_blocked(serial.data(), a.data(), b.data(), m, k, n, nullptr);
+  ThreadPool pool(3);
+  ops::gemm_nn_blocked(pooled.data(), a.data(), b.data(), m, k, n, &pool);
+  EXPECT_EQ(std::memcmp(serial.data(), pooled.data(),
+                        static_cast<std::size_t>(m * n) * sizeof(float)),
+            0);
+}
 
 TEST(Ops, MatmulShapeErrors) {
   EXPECT_THROW(ops::matmul(Tensor({2, 3}), Tensor({4, 2})), std::invalid_argument);

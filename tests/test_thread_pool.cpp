@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -56,6 +58,71 @@ TEST(ThreadPool, RepeatedUseIsStable) {
 
 TEST(ThreadPool, GlobalPoolHasAtLeastOneWorker) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+// The pre-fix pool deadlocked here: the outer parallel_for occupied every
+// worker, and each inner parallel_for then waited forever for a free one.
+// With inline nesting the inner loops run serially on the worker itself.
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForCoversEachIndexOnce) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> touched(16 * 16);
+  pool.parallel_for(0, 16, [&](std::size_t i) {
+    pool.parallel_for(0, 16,
+                      [&](std::size_t j) { touched[i * 16 + j].fetch_add(1); });
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+// Even with every worker pinned on another job, a parallel_for must finish:
+// the calling thread claims the chunks itself instead of waiting for a
+// worker to free up.
+TEST(ThreadPool, CallerRunsWhenWorkersAreBlocked) {
+  ThreadPool pool(2);
+  std::atomic<int> spinning{0};
+  std::atomic<bool> release{false};
+  std::thread blocker([&] {
+    pool.parallel_for(0, 3, [&](std::size_t) {
+      spinning.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  // Both workers plus the blocker thread are now pinned inside bodies.
+  while (spinning.load() < 3) std::this_thread::yield();
+
+  std::vector<std::atomic<int>> touched(100);
+  pool.parallel_for(0, touched.size(), [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+
+  release.store(true);
+  blocker.join();
+}
+
+TEST(ThreadPool, BusyGaugesSettleToZeroAtIdle) {
+  ThreadPool pool(2, /*force_telemetry=*/true);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 64, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 64);
+    EXPECT_LE(pool.utilization_value(), 1.0);
+  }
+  // Workers may still be between "body done" and "busy-- published"; give
+  // them a bounded grace period, then the gauges must read exactly zero.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while ((pool.busy_workers_value() != 0.0 || pool.utilization_value() != 0.0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(pool.busy_workers_value(), 0.0);
+  EXPECT_EQ(pool.utilization_value(), 0.0);
 }
 
 }  // namespace
