@@ -1,0 +1,232 @@
+// Closed-loop load generator for the online serving engine (src/serve/):
+// boots a small pipeline, registers VBPR + BPR-MF in a ModelRegistry, then
+// hammers RecommendService from TAAMR_SERVE_CLIENTS concurrent threads with
+// a skewed user distribution while a controller thread performs hot feature
+// swaps mid-load. Emits BENCH_serve_load.json via bench::Reporter with
+// serve_qps, serve_latency_p50/p90/p99_ms (from the serve_request_seconds
+// histogram) and serve_cache_hit_rate — the regression gate compares two
+// runs through taamr_report --baseline (see serve_load_gate in
+// bench/CMakeLists.txt).
+//
+// Correctness is asserted inline, not just measured:
+//   * every response is canonically ordered (score desc, id asc), free of
+//     the user's training items, and consistent with its stamped epoch;
+//   * after each hot swap, the served list for a set of probe users must
+//     equal a golden recompute against the swapped-in model (no stale or
+//     torn lists), and at least one probe list must actually change.
+//
+// Extra knobs: TAAMR_SERVE_CLIENTS (default 4), TAAMR_SERVE_REQUESTS per
+// client (default 300), plus the TAAMR_SERVE_* service knobs read by
+// ServeConfig::from_env.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "recsys/bpr_mf.hpp"
+#include "recsys/ranker.hpp"
+#include "serve/recommend_service.hpp"
+
+namespace {
+
+using namespace taamr;
+
+std::int64_t env_count(const char* name, std::int64_t fallback) {
+  if (const char* s = std::getenv(name)) {
+    char* end = nullptr;
+    const long long v = std::strtoll(s, &end, 10);
+    if (end != s && *end == '\0' && v > 0) return v;
+    log_warn() << "ignoring malformed " << name << "='" << s << "'";
+  }
+  return fallback;
+}
+
+// Golden top-n through the exact arithmetic path the service uses
+// (score_users tile + canonical tie-break), so served lists must match
+// bit-for-bit.
+std::vector<recsys::ScoredItem> golden_topn(const data::ImplicitDataset& dataset,
+                                            const recsys::Recommender& model,
+                                            std::int64_t user, std::int64_t n) {
+  std::vector<float> row(static_cast<std::size_t>(dataset.num_items));
+  const std::int64_t users[1] = {user};
+  model.score_users({users, 1}, row);
+  for (const std::int32_t it : dataset.train[static_cast<std::size_t>(user)]) {
+    row[static_cast<std::size_t>(it)] = -std::numeric_limits<float>::infinity();
+  }
+  return recsys::top_n_from_row(row, n, /*drop_masked=*/true);
+}
+
+void fail(const std::string& what) {
+  std::cerr << "serve_load: FAIL: " << what << "\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  bench::Reporter reporter("serve_load");
+
+  core::PipelineConfig config;
+  config.dataset_name = "Amazon Men";
+  config.scale = bench::env_scale();
+  config.seed = bench::env_seed();
+  config.cache_dir = bench::env_cache_dir();
+  // Small CNN: the bench measures the serving engine, not feature training.
+  config.image_size = 16;
+  config.cnn_epochs = 2;
+  config.cnn_images_per_category = 32;
+  config.vbpr.epochs = 30;
+
+  core::Pipeline pipeline(config);
+  pipeline.prepare();
+  const data::ImplicitDataset& dataset = pipeline.dataset();
+
+  serve::ModelRegistry registry(dataset);
+  registry.register_model("vbpr",
+                          std::shared_ptr<const recsys::Vbpr>(pipeline.train_vbpr()),
+                          /*visual=*/true);
+  {
+    Rng rng(config.seed + 17);
+    recsys::BprMfConfig bpr_config;
+    bpr_config.epochs = 30;
+    auto bpr = std::make_shared<recsys::BprMf>(dataset, bpr_config, rng);
+    bpr->fit(dataset, rng);
+    registry.register_model("bpr_mf", std::move(bpr), /*visual=*/false);
+  }
+  serve::RecommendService service(dataset, registry, pipeline.clean_features());
+
+  const std::int64_t clients = env_count("TAAMR_SERVE_CLIENTS", 4);
+  const std::int64_t per_client = env_count("TAAMR_SERVE_REQUESTS", 300);
+  const std::int64_t total = clients * per_client;
+  const std::int64_t top_n = 10;
+  const std::vector<std::int64_t> probes = {0, 1, 2};
+
+  std::atomic<std::int64_t> done{0};
+  std::atomic<bool> failed{false};
+
+  auto client_loop = [&](std::int64_t id) {
+    Rng rng(config.seed * 1000 + static_cast<std::uint64_t>(id));
+    for (std::int64_t r = 0; r < per_client && !failed.load(); ++r) {
+      const double u01 = rng.uniform();
+      const auto user = static_cast<std::int64_t>(u01 * u01 *
+                                                  static_cast<double>(dataset.num_users));
+      const std::string model = rng.uniform() < 0.2 ? "bpr_mf" : "vbpr";
+      serve::Recommendation rec;
+      try {
+        rec = service.recommend(model, std::min(user, dataset.num_users - 1), top_n);
+      } catch (const std::exception& e) {
+        failed.store(true);
+        std::cerr << "serve_load: request threw: " << e.what() << "\n";
+        break;
+      }
+      // Canonical order + no training items: a torn or stale list would
+      // trip one of these.
+      for (std::size_t i = 0; i < rec.items.size(); ++i) {
+        if (dataset.user_interacted(rec.user, rec.items[i].item)) {
+          failed.store(true);
+          std::cerr << "serve_load: train item served to user " << rec.user << "\n";
+          break;
+        }
+        if (i > 0) {
+          const auto& prev = rec.items[i - 1];
+          const auto& cur = rec.items[i];
+          if (cur.score > prev.score ||
+              (cur.score == prev.score && cur.item <= prev.item)) {
+            failed.store(true);
+            std::cerr << "serve_load: non-canonical order for user " << rec.user << "\n";
+            break;
+          }
+        }
+      }
+      done.fetch_add(1);
+    }
+  };
+
+  // Controller: three hot feature swaps spread through the load, each
+  // verified against a golden recompute.
+  auto controller = [&]() {
+    std::int64_t swaps_done = 0;
+    for (const double frac : {0.25, 0.5, 0.75}) {
+      const auto threshold = static_cast<std::int64_t>(frac * static_cast<double>(total));
+      while (done.load() < threshold && !failed.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (failed.load()) return;
+
+      const auto vbpr_before = registry.get("vbpr");
+      std::vector<std::vector<recsys::ScoredItem>> before;
+      before.reserve(probes.size());
+      for (const std::int64_t p : probes) {
+        before.push_back(golden_topn(dataset, *vbpr_before.model, p, top_n));
+      }
+      if (before[0].empty()) fail("probe user has an empty list");
+
+      // Shove the probe user's current #1 item far away in feature space.
+      const std::int32_t victim = before[0][0].item;
+      std::vector<float> feats = service.feature_store().item_features(victim);
+      for (float& f : feats) f = -f - 50.0f * static_cast<float>(swaps_done + 1);
+      const std::uint64_t epoch = service.update_item_features(victim, feats);
+
+      const auto vbpr_after = registry.get("vbpr");
+      if (vbpr_after.feature_epoch != epoch) fail("registry missed the feature epoch");
+      bool any_changed = false;
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        const auto golden = golden_topn(dataset, *vbpr_after.model, probes[i], top_n);
+        const auto served = service.recommend("vbpr", probes[i], top_n);
+        if (served.items != golden) {
+          fail("post-swap served list diverges from golden recompute (user " +
+               std::to_string(probes[i]) + ")");
+        }
+        if (served.feature_epoch != epoch) {
+          fail("post-swap response stamped with a stale feature epoch");
+        }
+        if (golden != before[i]) any_changed = true;
+      }
+      if (!any_changed) fail("hot feature swap changed no probe list");
+      ++swaps_done;
+    }
+  };
+
+  Stopwatch load_timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients) + 1);
+  for (std::int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back(client_loop, c);
+  }
+  threads.emplace_back(controller);
+  for (std::thread& t : threads) t.join();
+  const double load_seconds = load_timer.seconds();
+  if (failed.load()) fail("load loop aborted");
+
+  const serve::RecommendService::Stats stats = service.stats();
+  if (stats.feature_swaps != 3) fail("expected 3 hot swaps");
+
+  auto& latency = obs::MetricsRegistry::global().histogram("serve_request_seconds");
+  const double qps = load_seconds > 0.0 ? static_cast<double>(total) / load_seconds : 0.0;
+
+  reporter.add_examples(static_cast<double>(total));
+  reporter.add_metric("serve_qps", {}, qps);
+  reporter.add_metric("serve_latency_p50_ms", {}, latency.quantile(0.5) * 1e3);
+  reporter.add_metric("serve_latency_p90_ms", {}, latency.quantile(0.9) * 1e3);
+  reporter.add_metric("serve_latency_p99_ms", {}, latency.quantile(0.99) * 1e3);
+  reporter.add_metric("serve_cache_hit_rate", {}, stats.hit_rate());
+  reporter.add_metric("serve_coalesced_batches", {},
+                      static_cast<double>(stats.coalesced_batches));
+  reporter.add_metric("serve_cache_revalidated", {},
+                      static_cast<double>(stats.cache_revalidated));
+
+  std::cout << "serve_load: " << total << " requests from " << clients
+            << " clients in " << Table::fmt(load_seconds, 2) << "s — "
+            << Table::fmt(qps, 0) << " qps, p50 "
+            << Table::fmt(latency.quantile(0.5) * 1e3, 3) << "ms, p99 "
+            << Table::fmt(latency.quantile(0.99) * 1e3, 3) << "ms, hit rate "
+            << Table::fmt(stats.hit_rate(), 3) << ", " << stats.coalesced_batches
+            << " coalesced batches, " << stats.cache_revalidated
+            << " revalidations\n";
+  return 0;
+}

@@ -1,5 +1,7 @@
 # Regression-gate integration test, run via
 #   cmake -DBENCH_BIN=... -DREPORT_BIN=... -DWORK_DIR=... -P BenchReportTest.cmake
+# Optional: -DBENCH_NAME=<name> (artifact is BENCH_<name>.json, default
+# table2_chr) and -DTHRESHOLD=<pct> (self-compare threshold, default 60%).
 #
 # Drives the real pipeline twice: two runs of table2_chr at a small scale
 # (separate cache AND bench dirs, so the second run re-does the work instead
@@ -19,6 +21,12 @@ foreach(var BENCH_BIN REPORT_BIN WORK_DIR)
     message(FATAL_ERROR "BenchReportTest: ${var} not set")
   endif()
 endforeach()
+if(NOT DEFINED BENCH_NAME)
+  set(BENCH_NAME table2_chr)
+endif()
+if(NOT DEFINED THRESHOLD)
+  set(THRESHOLD 60%)
+endif()
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}/run1" "${WORK_DIR}/run2")
@@ -39,13 +47,13 @@ foreach(run run1 run2)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "BenchReportTest: bench run ${run} failed (rc=${rc})")
   endif()
-  if(NOT EXISTS "${WORK_DIR}/${run}/BENCH_table2_chr.json")
-    message(FATAL_ERROR "BenchReportTest: ${run} produced no BENCH_table2_chr.json")
+  if(NOT EXISTS "${WORK_DIR}/${run}/BENCH_${BENCH_NAME}.json")
+    message(FATAL_ERROR "BenchReportTest: ${run} produced no BENCH_${BENCH_NAME}.json")
   endif()
 endforeach()
 
-set(run1_json "${WORK_DIR}/run1/BENCH_table2_chr.json")
-set(run2_json "${WORK_DIR}/run2/BENCH_table2_chr.json")
+set(run1_json "${WORK_DIR}/run1/BENCH_${BENCH_NAME}.json")
+set(run2_json "${WORK_DIR}/run2/BENCH_${BENCH_NAME}.json")
 
 # 1. Schema validation of both artifacts.
 execute_process(
@@ -69,7 +77,7 @@ endif()
 # 3. Self-compare must pass: identical code, identical config, deterministic
 # tables; only wall time wiggles, hence the fat threshold.
 execute_process(
-  COMMAND ${REPORT_BIN} ${run2_json} --baseline ${run1_json} --threshold 60%
+  COMMAND ${REPORT_BIN} ${run2_json} --baseline ${run1_json} --threshold ${THRESHOLD}
           --out "${WORK_DIR}/report_self.md"
   RESULT_VARIABLE rc
 )
@@ -84,7 +92,7 @@ string(REPLACE "\"flops_total\":" "\"flops_total\":9" inflated_text "${run1_text
 file(WRITE "${WORK_DIR}/inflated_baseline.json" "${inflated_text}")
 execute_process(
   COMMAND ${REPORT_BIN} ${run2_json}
-          --baseline "${WORK_DIR}/inflated_baseline.json" --threshold 60%
+          --baseline "${WORK_DIR}/inflated_baseline.json" --threshold ${THRESHOLD}
           --out "${WORK_DIR}/report_inflated.md"
   RESULT_VARIABLE rc
 )

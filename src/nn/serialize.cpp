@@ -33,36 +33,55 @@ void save_classifier(std::ostream& os, const Classifier& classifier) {
 }
 
 Classifier load_classifier(std::istream& is) {
-  const std::uint32_t version = io::read_magic(is, kMagic);
-  if (version != kVersion) {
-    throw std::runtime_error("load_classifier: unsupported version " +
-                             std::to_string(version));
-  }
-  MiniResNetConfig cfg;
-  cfg.in_channels = static_cast<std::int64_t>(io::read_u64(is));
-  cfg.image_size = static_cast<std::int64_t>(io::read_u64(is));
-  cfg.num_classes = static_cast<std::int64_t>(io::read_u64(is));
-  cfg.base_width = static_cast<std::int64_t>(io::read_u64(is));
-  cfg.blocks_per_stage = static_cast<std::int64_t>(io::read_u64(is));
-
-  Rng throwaway(0);  // weights are overwritten below
-  Classifier classifier(cfg, throwaway);
-
-  const auto params = classifier.network().params();
-  const std::uint64_t count = io::read_u64(is);
-  if (count != params.size()) {
-    throw std::runtime_error("load_classifier: parameter count mismatch");
-  }
-  for (Param* p : params) {
-    const std::string name = io::read_string(is);
-    const std::vector<std::int64_t> shape = io::read_i64_vector(is);
-    std::vector<float> data = io::read_f32_vector(is);
-    if (name != p->name || Shape(shape) != p->value.shape()) {
-      throw std::runtime_error("load_classifier: parameter layout mismatch at " + p->name);
+  try {
+    const std::uint32_t version = io::read_magic(is, kMagic);
+    if (version != kVersion) {
+      throw std::runtime_error("load_classifier: unsupported version " +
+                               std::to_string(version));
     }
-    p->value = Tensor(Shape(shape), std::move(data));
+    MiniResNetConfig cfg;
+    cfg.in_channels = static_cast<std::int64_t>(io::read_u64(is));
+    cfg.image_size = static_cast<std::int64_t>(io::read_u64(is));
+    cfg.num_classes = static_cast<std::int64_t>(io::read_u64(is));
+    cfg.base_width = static_cast<std::int64_t>(io::read_u64(is));
+    cfg.blocks_per_stage = static_cast<std::int64_t>(io::read_u64(is));
+    for (std::int64_t v : {cfg.in_channels, cfg.image_size, cfg.num_classes,
+                           cfg.base_width, cfg.blocks_per_stage}) {
+      if (v <= 0 || v > (1 << 20)) {
+        throw std::runtime_error(
+            "load_classifier: implausible config field (corrupt checkpoint?)");
+      }
+    }
+
+    Rng throwaway(0);  // weights are overwritten below
+    Classifier classifier(cfg, throwaway);
+
+    const auto params = classifier.network().params();
+    const std::uint64_t count = io::read_u64(is);
+    if (count != params.size()) {
+      throw std::runtime_error("load_classifier: parameter count mismatch");
+    }
+    for (Param* p : params) {
+      const std::string name = io::read_string(is);
+      const std::vector<std::int64_t> shape = io::read_i64_vector(is);
+      std::vector<float> data = io::read_f32_vector(is);
+      if (name != p->name || Shape(shape) != p->value.shape()) {
+        throw std::runtime_error("load_classifier: parameter layout mismatch at " + p->name);
+      }
+      if (shape_numel(shape) != static_cast<std::int64_t>(data.size())) {
+        throw std::runtime_error("load_classifier: payload size mismatch at " + p->name);
+      }
+      p->value = Tensor(Shape(shape), std::move(data));
+    }
+    return classifier;
+  } catch (const std::runtime_error& e) {
+    // Low-level io errors ("io: unexpected end of stream", "io: bad magic
+    // number") gain checkpoint context; our own messages pass through.
+    const std::string what = e.what();
+    if (what.rfind("load_classifier", 0) == 0) throw;
+    throw std::runtime_error("load_classifier: corrupt or truncated checkpoint (" +
+                             what + ")");
   }
-  return classifier;
 }
 
 void save_classifier_file(const std::string& path, const Classifier& classifier) {

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/io.hpp"
 
 #include "obs/metrics.hpp"
 #include "obs/runlog.hpp"
@@ -75,6 +79,83 @@ float BprMf::train_epoch(const data::ImplicitDataset& dataset, Rng& rng) {
   }
   last_epoch_mean_grad_ = grad_sum / static_cast<double>(steps);
   return static_cast<float>(loss_sum / static_cast<double>(steps));
+}
+
+namespace {
+constexpr std::uint32_t kBprMagic = 0x54414d42;  // "TAMB"
+constexpr std::uint32_t kBprVersion = 1;
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  io::write_i64_vector(os, t.shape());
+  io::write_f32_vector(os, t.storage());
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto shape = io::read_i64_vector(is);
+  auto data = io::read_f32_vector(is);
+  if (shape_numel(shape) != static_cast<std::int64_t>(data.size())) {
+    throw std::runtime_error("BprMf::load: tensor shape/payload mismatch");
+  }
+  return Tensor(Shape(shape), std::move(data));
+}
+}  // namespace
+
+BprMf::BprMf(const data::ImplicitDataset& dataset, BprMfConfig config, LoadTag)
+    : config_(config), sampler_(dataset) {}
+
+void BprMf::save(std::ostream& os) const {
+  io::write_magic(os, kBprMagic, kBprVersion);
+  io::write_u64(os, static_cast<std::uint64_t>(config_.factors));
+  io::write_f32(os, config_.learning_rate);
+  io::write_f32(os, config_.reg_factors);
+  io::write_f32(os, config_.reg_bias);
+  for (const Tensor* t : {&user_factors_, &item_factors_, &item_bias_}) {
+    write_tensor(os, *t);
+  }
+}
+
+BprMf BprMf::load(std::istream& is, const data::ImplicitDataset& dataset) {
+  try {
+    const std::uint32_t version = io::read_magic(is, kBprMagic);
+    if (version != kBprVersion) {
+      throw std::runtime_error("BprMf::load: unsupported version " +
+                               std::to_string(version));
+    }
+    BprMfConfig config;
+    config.factors = static_cast<std::int64_t>(io::read_u64(is));
+    config.learning_rate = io::read_f32(is);
+    config.reg_factors = io::read_f32(is);
+    config.reg_bias = io::read_f32(is);
+    BprMf model(dataset, config, LoadTag{});
+    for (Tensor* t : {&model.user_factors_, &model.item_factors_, &model.item_bias_}) {
+      *t = read_tensor(is);
+    }
+    if (model.user_factors_.ndim() != 2 ||
+        model.user_factors_.dim(0) != dataset.num_users ||
+        model.item_factors_.ndim() != 2 ||
+        model.item_factors_.dim(0) != dataset.num_items ||
+        model.item_factors_.dim(1) != config.factors ||
+        model.item_bias_.numel() != dataset.num_items) {
+      throw std::runtime_error("BprMf::load: checkpoint does not match the dataset");
+    }
+    return model;
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    if (what.rfind("BprMf::load", 0) == 0) throw;
+    throw std::runtime_error("BprMf::load: corrupt or truncated checkpoint (" + what + ")");
+  }
+}
+
+void BprMf::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("BprMf::save_file: cannot open " + path);
+  save(os);
+}
+
+BprMf BprMf::load_file(const std::string& path, const data::ImplicitDataset& dataset) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("BprMf::load_file: cannot open " + path);
+  return load(is, dataset);
 }
 
 void BprMf::fit(const data::ImplicitDataset& dataset, Rng& rng, bool verbose) {

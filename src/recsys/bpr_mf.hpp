@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 
 #include "recsys/recommender.hpp"
 #include "recsys/sampler.hpp"
@@ -45,7 +47,20 @@ class BprMf : public Recommender {
   Tensor& item_factors() { return item_factors_; }
   Tensor& item_bias() { return item_bias_; }
 
+  // Checkpointing in the shared util/io container format (magic "TAMB",
+  // explicit version). load() rebuilds against the same dataset (the model
+  // keeps a sampler over it) and rejects mismatched checkpoints with a
+  // descriptive std::runtime_error — this is what lets the serving
+  // ModelRegistry host the BPR-MF baseline next to VBPR/AMR.
+  void save(std::ostream& os) const;
+  static BprMf load(std::istream& is, const data::ImplicitDataset& dataset);
+  void save_file(const std::string& path) const;
+  static BprMf load_file(const std::string& path, const data::ImplicitDataset& dataset);
+
  private:
+  struct LoadTag {};
+  BprMf(const data::ImplicitDataset& dataset, BprMfConfig config, LoadTag);
+
   BprMfConfig config_;
   double last_epoch_mean_grad_ = 0.0;
   Tensor user_factors_;  // [U, K]

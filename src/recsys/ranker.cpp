@@ -9,6 +9,30 @@
 
 namespace taamr::recsys {
 
+std::vector<ScoredItem> top_n_from_row(std::span<const float> row, std::int64_t n,
+                                       bool drop_masked) {
+  if (n <= 0) throw std::invalid_argument("top_n_from_row: non-positive N");
+  const std::int64_t num_items = static_cast<std::int64_t>(row.size());
+  const std::int64_t top = std::min(n, num_items);
+  std::vector<std::int32_t> idx(static_cast<std::size_t>(num_items));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + top, idx.end(),
+                    [&row](std::int32_t a, std::int32_t b) {
+                      const float sa = row[static_cast<std::size_t>(a)];
+                      const float sb = row[static_cast<std::size_t>(b)];
+                      if (sa != sb) return sa > sb;
+                      return a < b;  // deterministic tie-break
+                    });
+  std::vector<ScoredItem> out;
+  out.reserve(static_cast<std::size_t>(top));
+  for (std::int64_t r = 0; r < top; ++r) {
+    const float s = row[static_cast<std::size_t>(idx[static_cast<std::size_t>(r)])];
+    if (drop_masked && s == -std::numeric_limits<float>::infinity()) break;
+    out.push_back({idx[static_cast<std::size_t>(r)], s});
+  }
+  return out;
+}
+
 std::vector<std::vector<std::int32_t>> top_n_lists(const Recommender& model,
                                                    const data::ImplicitDataset& dataset,
                                                    std::int64_t n, bool exclude_train) {
@@ -39,17 +63,10 @@ std::vector<std::vector<std::int32_t>> top_n_lists(const Recommender& model,
           row[item] = -std::numeric_limits<float>::infinity();
         }
       }
-      std::vector<std::int32_t> idx(static_cast<std::size_t>(num_items));
-      std::iota(idx.begin(), idx.end(), 0);
-      std::partial_sort(idx.begin(), idx.begin() + top, idx.end(),
-                        [row](std::int32_t a, std::int32_t b) {
-                          const float sa = row[a];
-                          const float sb = row[b];
-                          if (sa != sb) return sa > sb;
-                          return a < b;  // deterministic tie-break
-                        });
-      idx.resize(static_cast<std::size_t>(top));
-      lists[static_cast<std::size_t>(u)] = std::move(idx);
+      const auto ranked = top_n_from_row({row, static_cast<std::size_t>(num_items)}, top);
+      std::vector<std::int32_t> ids(ranked.size());
+      for (std::size_t r = 0; r < ranked.size(); ++r) ids[r] = ranked[r].item;
+      lists[static_cast<std::size_t>(u)] = std::move(ids);
     }
   });
   return lists;

@@ -2,11 +2,29 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "recsys/recommender.hpp"
 
 namespace taamr::recsys {
+
+// One entry of a ranked list: the item and the score it ranked with.
+struct ScoredItem {
+  std::int32_t item = 0;
+  float score = 0.0f;
+
+  bool operator==(const ScoredItem&) const = default;
+};
+
+// Top-n (item, score) pairs of one scored row, with the canonical ranking
+// order used everywhere in the repo: score descending, then item id
+// ascending (the deterministic tie-break serve-side result caching relies
+// on). Callers mask excluded items to -inf; when drop_masked is set those
+// entries are removed from the result (the serving behaviour) instead of
+// trailing it (the offline-evaluation behaviour top_n_lists keeps).
+std::vector<ScoredItem> top_n_from_row(std::span<const float> row, std::int64_t n,
+                                       bool drop_masked = false);
 
 // Per-user top-N item lists, best first. Training items are excluded when
 // exclude_train is set (the usual evaluation protocol; the CHR definition

@@ -31,6 +31,14 @@ class Recommender {
   virtual void score_block(std::int64_t u_begin, std::int64_t u_end,
                            std::span<float> out) const;
 
+  // Scores for an arbitrary (not necessarily contiguous) set of users into
+  // out, row-major [users.size(), num_items()]. This is the serving tile:
+  // the request coalescer batches whatever users arrived concurrently, and
+  // models with matrix structure gather their rows and run the same GEMMs
+  // as score_block. The default forwards to score_all per user.
+  virtual void score_users(std::span<const std::int64_t> users,
+                           std::span<float> out) const;
+
   virtual std::string name() const = 0;
 };
 

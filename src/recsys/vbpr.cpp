@@ -154,6 +154,26 @@ void Vbpr::score_all(std::int64_t user, std::span<float> out) const {
             static_cast<double>(num_items()) * static_cast<double>(k + a) * 8.0);
 }
 
+void Vbpr::score_user_rows(const Tensor& p_block, const Tensor& a_block,
+                           std::span<float> out) const {
+  const std::int64_t users = p_block.dim(0);
+  const std::int64_t items = num_items();
+  Tensor s = ops::matmul(p_block, item_factors_t_);        // [U_b, I]
+  ops::matmul_accumulate(s, a_block, theta_cache_t_);      // += alpha Theta^T
+  for (std::int64_t r = 0; r < users; ++r) {
+    const float* srow = s.data() + r * items;
+    float* orow = out.data() + r * items;
+    for (std::int64_t i = 0; i < items; ++i) {
+      orow[i] = srow[i] + item_bias_[i] + visual_bias_cache_[i];
+    }
+  }
+  // The GEMMs book themselves under the gemm family; the bias broadcast is
+  // the remaining per-score work.
+  cost::add(cost::Kernel::kRecsysScore,
+            static_cast<double>(users) * static_cast<double>(items) * 2.0,
+            static_cast<double>(users) * static_cast<double>(items) * 12.0);
+}
+
 void Vbpr::score_block(std::int64_t u_begin, std::int64_t u_end,
                        std::span<float> out) const {
   require_fresh_caches();
@@ -174,20 +194,33 @@ void Vbpr::score_block(std::int64_t u_begin, std::int64_t u_end,
   Tensor a_block({users, a});
   std::memcpy(a_block.data(), user_visual_.data() + u_begin * a,
               static_cast<std::size_t>(users * a) * sizeof(float));
-  Tensor s = ops::matmul(p_block, item_factors_t_);        // [U_b, I]
-  ops::matmul_accumulate(s, a_block, theta_cache_t_);      // += alpha Theta^T
-  for (std::int64_t r = 0; r < users; ++r) {
-    const float* srow = s.data() + r * items;
-    float* orow = out.data() + r * items;
-    for (std::int64_t i = 0; i < items; ++i) {
-      orow[i] = srow[i] + item_bias_[i] + visual_bias_cache_[i];
-    }
+  score_user_rows(p_block, a_block, out);
+}
+
+void Vbpr::score_users(std::span<const std::int64_t> users,
+                       std::span<float> out) const {
+  require_fresh_caches();
+  const std::int64_t items = num_items();
+  if (out.size() != users.size() * static_cast<std::size_t>(items)) {
+    throw std::invalid_argument("Vbpr::score_users: bad output size");
   }
-  // The GEMMs book themselves under the gemm family; the bias broadcast is
-  // the remaining per-score work.
-  cost::add(cost::Kernel::kRecsysScore,
-            static_cast<double>(users) * static_cast<double>(items) * 2.0,
-            static_cast<double>(users) * static_cast<double>(items) * 12.0);
+  if (users.empty()) return;
+  const std::int64_t k = config_.mf_factors, a = config_.visual_factors;
+  Tensor p_block({static_cast<std::int64_t>(users.size()), k});
+  Tensor a_block({static_cast<std::int64_t>(users.size()), a});
+  for (std::size_t r = 0; r < users.size(); ++r) {
+    const std::int64_t u = users[r];
+    if (u < 0 || u >= num_users()) {
+      throw std::invalid_argument("Vbpr::score_users: user out of range");
+    }
+    std::memcpy(p_block.data() + static_cast<std::int64_t>(r) * k,
+                user_factors_.data() + u * k,
+                static_cast<std::size_t>(k) * sizeof(float));
+    std::memcpy(a_block.data() + static_cast<std::int64_t>(r) * a,
+                user_visual_.data() + u * a,
+                static_cast<std::size_t>(a) * sizeof(float));
+  }
+  score_user_rows(p_block, a_block, out);
 }
 
 float Vbpr::train_epoch(const data::ImplicitDataset& dataset, Rng& rng,
@@ -334,6 +367,9 @@ void write_tensor(std::ostream& os, const Tensor& t) {
 Tensor read_tensor(std::istream& is) {
   const auto shape = io::read_i64_vector(is);
   auto data = io::read_f32_vector(is);
+  if (shape_numel(shape) != static_cast<std::int64_t>(data.size())) {
+    throw std::runtime_error("Vbpr::load: tensor shape/payload mismatch");
+  }
   return Tensor(Shape(shape), std::move(data));
 }
 }  // namespace
@@ -358,31 +394,42 @@ void Vbpr::save(std::ostream& os) const {
 }
 
 Vbpr Vbpr::load(std::istream& is, const data::ImplicitDataset& dataset) {
-  const std::uint32_t version = io::read_magic(is, kVbprMagic);
-  if (version != kVbprVersion) {
-    throw std::runtime_error("Vbpr::load: unsupported version");
+  try {
+    const std::uint32_t version = io::read_magic(is, kVbprMagic);
+    if (version != kVbprVersion) {
+      throw std::runtime_error("Vbpr::load: unsupported version");
+    }
+    VbprConfig config;
+    config.mf_factors = static_cast<std::int64_t>(io::read_u64(is));
+    config.visual_factors = static_cast<std::int64_t>(io::read_u64(is));
+    config.learning_rate = io::read_f32(is);
+    config.reg_factors = io::read_f32(is);
+    config.reg_bias = io::read_f32(is);
+    config.reg_visual = io::read_f32(is);
+    if (config.mf_factors <= 0 || config.mf_factors > (1 << 20) ||
+        config.visual_factors <= 0 || config.visual_factors > (1 << 20)) {
+      throw std::runtime_error("Vbpr::load: implausible factor counts (corrupt checkpoint?)");
+    }
+    Vbpr model(dataset, config, LoadTag{});
+    model.transform_.mean = read_tensor(is);
+    model.transform_.inv_scale = io::read_f32(is);
+    for (Tensor* t : {&model.features_, &model.user_factors_, &model.item_factors_,
+                      &model.item_bias_, &model.user_visual_, &model.embedding_,
+                      &model.visual_bias_}) {
+      *t = read_tensor(is);
+    }
+    if (model.features_.ndim() != 2 || model.features_.dim(0) != dataset.num_items ||
+        model.user_factors_.dim(0) != dataset.num_users) {
+      throw std::runtime_error("Vbpr::load: checkpoint does not match the dataset");
+    }
+    model.rebuild_caches();
+    return model;
+  } catch (const std::runtime_error& e) {
+    // Low-level io errors gain checkpoint context; our own pass through.
+    const std::string what = e.what();
+    if (what.rfind("Vbpr::load", 0) == 0) throw;
+    throw std::runtime_error("Vbpr::load: corrupt or truncated checkpoint (" + what + ")");
   }
-  VbprConfig config;
-  config.mf_factors = static_cast<std::int64_t>(io::read_u64(is));
-  config.visual_factors = static_cast<std::int64_t>(io::read_u64(is));
-  config.learning_rate = io::read_f32(is);
-  config.reg_factors = io::read_f32(is);
-  config.reg_bias = io::read_f32(is);
-  config.reg_visual = io::read_f32(is);
-  Vbpr model(dataset, config, LoadTag{});
-  model.transform_.mean = read_tensor(is);
-  model.transform_.inv_scale = io::read_f32(is);
-  for (Tensor* t : {&model.features_, &model.user_factors_, &model.item_factors_,
-                    &model.item_bias_, &model.user_visual_, &model.embedding_,
-                    &model.visual_bias_}) {
-    *t = read_tensor(is);
-  }
-  if (model.features_.ndim() != 2 || model.features_.dim(0) != dataset.num_items ||
-      model.user_factors_.dim(0) != dataset.num_users) {
-    throw std::runtime_error("Vbpr::load: checkpoint does not match the dataset");
-  }
-  model.rebuild_caches();
-  return model;
 }
 
 void Vbpr::save_file(const std::string& path) const {

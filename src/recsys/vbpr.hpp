@@ -76,6 +76,10 @@ class Vbpr : public Recommender {
   // Routes ranking through the blocked GEMM kernel.
   void score_block(std::int64_t u_begin, std::int64_t u_end,
                    std::span<float> out) const override;
+  // Same two-GEMM path for an arbitrary user set (the serving tile): the
+  // rows of P and alpha are gathered, then scored exactly like score_block.
+  void score_users(std::span<const std::int64_t> users,
+                   std::span<float> out) const override;
   std::string name() const override { return "VBPR"; }
 
   std::int64_t feature_dim() const { return features_.dim(1); }
@@ -96,6 +100,10 @@ class Vbpr : public Recommender {
   // Rebuilds theta_cache_ (= E f_i) and visual_bias_cache_ (= beta . f_i).
   void rebuild_caches();
   void require_fresh_caches() const;
+  // Shared GEMM path of score_block/score_users: scores the gathered user
+  // rows p_block [U_b, K] / a_block [U_b, A] against every item.
+  void score_user_rows(const Tensor& p_block, const Tensor& a_block,
+                       std::span<float> out) const;
 
   VbprConfig config_;
   double last_epoch_mean_grad_ = 0.0;

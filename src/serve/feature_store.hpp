@@ -1,0 +1,64 @@
+// Epoch-versioned item feature store: the raw (un-standardized) CNN
+// features the visual recommenders are rebuilt from when an item's image
+// changes under a live attack loop.
+//
+// Every update advances a monotone epoch and appends (epoch, item) to a
+// bounded changelog. The serve-side result cache tags entries with the
+// epoch they were computed at; on a later lookup, changed_since() tells it
+// exactly which items moved in between, so it can revalidate the entry
+// (cheap per-item score checks) instead of recomputing every cached list —
+// the "invalidate only affected entries" contract. When the changelog
+// window is exceeded the answer degrades safely to "unknown" (nullopt) and
+// the caller falls back to a full recompute of that entry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace taamr::serve {
+
+class FeatureStore {
+ public:
+  // raw_features: [num_items, D]. log_window bounds the changelog length.
+  explicit FeatureStore(Tensor raw_features, std::size_t log_window = 256);
+
+  std::int64_t num_items() const { return items_; }
+  std::int64_t feature_dim() const { return dim_; }
+
+  // Epoch of the latest update (0 = pristine).
+  std::uint64_t epoch() const;
+
+  // Copy of the full current feature matrix (what rebuilt models consume).
+  Tensor snapshot() const;
+
+  // Copy of one item's current feature row.
+  std::vector<float> item_features(std::int64_t item) const;
+
+  // Replaces one item's feature row; returns the new epoch.
+  std::uint64_t update(std::int64_t item, std::span<const float> features);
+
+  // Distinct items changed in (since_epoch, epoch()]; empty when
+  // since_epoch == epoch(). nullopt when the changelog no longer covers
+  // since_epoch (too many updates in between) — callers must treat the
+  // entry as fully stale.
+  std::optional<std::vector<std::int32_t>> changed_since(std::uint64_t since_epoch) const;
+
+ private:
+  const std::int64_t items_;
+  const std::int64_t dim_;
+  const std::size_t log_window_;
+
+  mutable std::mutex mutex_;
+  Tensor features_;                                   // [I, D], guarded
+  std::uint64_t epoch_ = 0;                           // guarded
+  std::deque<std::pair<std::uint64_t, std::int32_t>> log_;  // guarded, oldest first
+};
+
+}  // namespace taamr::serve

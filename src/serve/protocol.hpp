@@ -1,0 +1,62 @@
+// Newline-delimited JSON protocol of tools/taamr_serve. One request object
+// per line in, one response object per line out, over stdin/stdout or a TCP
+// loopback connection. Built on obs::json (the repo's minimal parser), so
+// the wire format round-trips with the observability writers.
+//
+// Requests:
+//   {"op":"recommend","model":"vbpr","user":3,"n":10}
+//   {"op":"update_features","item":5,"features":[0.1, ...]}
+//   {"op":"update_image","item":5,"seed":42}      // re-render + re-extract
+//   {"op":"swap_model","model":"vbpr","kind":"vbpr","path":"ckpt.bin"}
+//   {"op":"models"} | {"op":"stats"} | {"op":"shutdown"}
+//
+// Responses always carry "ok"; failures carry "error" with the exception
+// message. recommend responses: {"ok":true,"user":3,"cached":false,
+// "model_version":1,"feature_epoch":0,"items":[{"item":7,"score":1.5},...]}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/recommend_service.hpp"
+
+namespace taamr::serve {
+
+enum class Op {
+  kRecommend,
+  kUpdateFeatures,
+  kUpdateImage,
+  kSwapModel,
+  kModels,
+  kStats,
+  kShutdown,
+};
+
+struct Request {
+  Op op = Op::kRecommend;
+  std::string model;           // recommend / swap_model
+  std::int64_t user = -1;      // recommend
+  std::int64_t n = 10;         // recommend (default top-10)
+  std::int64_t item = -1;      // update_features / update_image
+  std::vector<float> features; // update_features
+  std::uint64_t seed = 0;      // update_image
+  std::string kind;            // swap_model: "vbpr" | "bpr_mf"
+  std::string path;            // swap_model checkpoint path
+};
+
+// Parses one request line. Throws std::runtime_error with a descriptive
+// message on unknown ops, missing fields, or malformed JSON (the server
+// turns that into an error response instead of dying).
+Request parse_request(const std::string& line);
+
+// Response formatters; each returns a single line without the trailing
+// newline.
+std::string format_recommendation(const Recommendation& rec);
+std::string format_error(const std::string& message);
+// {"ok":true} plus optional extra pre-rendered fields, e.g. R"("epoch":3)".
+std::string format_ok(const std::string& extra_fields = "");
+std::string format_models(const std::vector<std::string>& names);
+std::string format_stats(const RecommendService::Stats& stats);
+
+}  // namespace taamr::serve

@@ -1,0 +1,356 @@
+#include "serve/recommend_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "recsys/ranker.hpp"
+#include "recsys/vbpr.hpp"
+#include "util/thread_pool.hpp"
+
+namespace taamr::serve {
+
+namespace {
+
+// Users per gathered GEMM tile when scoring a coalesced batch.
+constexpr std::int64_t kScoreTile = 64;
+
+std::int64_t env_int64(const char* name, std::int64_t fallback, std::int64_t min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || v < min_value) {
+    std::fprintf(stderr, "serve: ignoring invalid %s=%s (using %lld)\n", name, raw,
+                 static_cast<long long>(fallback));
+    return fallback;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_env() {
+  ServeConfig c;
+  c.cache_capacity = env_int64("TAAMR_SERVE_CACHE_CAP", c.cache_capacity, 1);
+  c.cache_shards = env_int64("TAAMR_SERVE_CACHE_SHARDS", c.cache_shards, 1);
+  c.batch_max = env_int64("TAAMR_SERVE_BATCH_MAX", c.batch_max, 1);
+  c.batch_window_us = env_int64("TAAMR_SERVE_BATCH_WINDOW_US", c.batch_window_us, 0);
+  c.update_log_window = env_int64("TAAMR_SERVE_UPDATE_LOG", c.update_log_window, 1);
+  return c;
+}
+
+RecommendService::RecommendService(const data::ImplicitDataset& dataset,
+                                   ModelRegistry& registry, Tensor raw_features,
+                                   ServeConfig config)
+    : dataset_(dataset),
+      registry_(registry),
+      store_(std::move(raw_features),
+             static_cast<std::size_t>(config.update_log_window)),
+      config_(config),
+      cache_(config.cache_capacity, config.cache_shards) {
+  if (store_.num_items() != dataset_.num_items) {
+    throw std::invalid_argument(
+        "RecommendService: feature rows must match dataset items");
+  }
+}
+
+std::optional<CacheEntry> RecommendService::lookup(const CacheKey& key,
+                                                   const ModelRegistry::Snapshot& snap,
+                                                   bool count_miss) {
+  std::optional<CacheEntry> entry = cache_.get(key);
+  if (!entry.has_value()) {
+    if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (entry->model_version != snap.version) {
+    // New checkpoint: everything computed against the old one is stale.
+    if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (entry->feature_epoch == snap.feature_epoch) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+  }
+  // Feature epoch drifted: revalidate against the exact set of changed
+  // items. The store may be ahead of snap.feature_epoch (a swap in flight);
+  // checking against its current epoch only over-approximates the changed
+  // set, which is safe.
+  const std::optional<std::vector<std::int32_t>> changed =
+      store_.changed_since(entry->feature_epoch);
+  if (!changed.has_value()) {
+    // Changelog window exceeded; cannot prove validity.
+    if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const bool list_full = static_cast<std::int64_t>(entry->items.size()) >= key.n;
+  for (const std::int32_t c : changed.value()) {
+    if (config_.exclude_train && dataset_.user_interacted(key.user, c)) {
+      continue;  // never servable for this user
+    }
+    const bool in_list =
+        std::any_of(entry->items.begin(), entry->items.end(),
+                    [c](const recsys::ScoredItem& s) { return s.item == c; });
+    if (in_list) {
+      if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (!list_full) {
+      // A short list already holds every servable item, so a servable
+      // changed item would have matched in_list above. Nothing to do.
+      continue;
+    }
+    // Could the changed item displace the tail under the canonical
+    // score-desc / id-asc order?
+    const float s = snap.model->score(key.user, c);
+    const recsys::ScoredItem& tail = entry->items.back();
+    if (s > tail.score || (s == tail.score && c < tail.item)) {
+      if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+  }
+  // Entry survived: every in-list score is unchanged and no changed item
+  // can enter. Re-stamp so the next hit skips the changelog walk.
+  cache_.touch_epoch(key, snap.version, snap.feature_epoch);
+  entry->model_version = snap.version;
+  entry->feature_epoch = snap.feature_epoch;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  revalidated_.fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+void RecommendService::score_misses(const ModelRegistry::Snapshot& snap,
+                                    const std::string& model,
+                                    std::span<const std::int64_t> users, std::int64_t n,
+                                    std::span<Recommendation*> out) {
+  TAAMR_TRACE_SPAN("serve/score_batch");
+  const std::int64_t num_items = dataset_.num_items;
+  const std::int64_t count = static_cast<std::int64_t>(users.size());
+  obs::MetricsRegistry::global()
+      .histogram("serve_batch_users", {}, {1, 2, 4, 8, 16, 32, 64, 128, 256})
+      .observe(static_cast<double>(count));
+  std::vector<float> scores(static_cast<std::size_t>(count * num_items));
+  const std::int64_t num_tiles = (count + kScoreTile - 1) / kScoreTile;
+  taamr::parallel_for(0, static_cast<std::size_t>(num_tiles), [&](std::size_t t) {
+    const std::int64_t begin = static_cast<std::int64_t>(t) * kScoreTile;
+    const std::int64_t end = std::min<std::int64_t>(begin + kScoreTile, count);
+    std::span<float> tile(scores.data() + begin * num_items,
+                          static_cast<std::size_t>((end - begin) * num_items));
+    snap.model->score_users(users.subspan(static_cast<std::size_t>(begin),
+                                          static_cast<std::size_t>(end - begin)),
+                            tile);
+    for (std::int64_t r = begin; r < end; ++r) {
+      float* row = scores.data() + r * num_items;
+      const std::int64_t user = users[static_cast<std::size_t>(r)];
+      if (config_.exclude_train) {
+        for (const std::int32_t it : dataset_.train[static_cast<std::size_t>(user)]) {
+          row[it] = -std::numeric_limits<float>::infinity();
+        }
+      }
+      Recommendation& rec = *out[static_cast<std::size_t>(r)];
+      rec.user = user;
+      rec.items = recsys::top_n_from_row({row, static_cast<std::size_t>(num_items)},
+                                         n, /*drop_masked=*/true);
+      rec.cached = false;
+      rec.model_version = snap.version;
+      rec.feature_epoch = snap.feature_epoch;
+      cache_.put(CacheKey{model, user, n},
+                 CacheEntry{rec.items, snap.version, snap.feature_epoch});
+    }
+  });
+}
+
+std::vector<Recommendation> RecommendService::recommend_batch(
+    const std::string& model, std::span<const std::int64_t> users, std::int64_t n) {
+  if (n <= 0) throw std::invalid_argument("recommend_batch: n must be positive");
+  for (const std::int64_t u : users) {
+    if (u < 0 || u >= dataset_.num_users) {
+      throw std::invalid_argument("recommend_batch: user out of range");
+    }
+  }
+  const ModelRegistry::Snapshot snap = registry_.get(model);
+  requests_.fetch_add(users.size(), std::memory_order_relaxed);
+  obs::MetricsRegistry::global()
+      .counter("serve_requests_total", {{"model", model}})
+      .add(static_cast<double>(users.size()));
+
+  std::vector<Recommendation> results(users.size());
+  std::vector<std::int64_t> miss_users;
+  std::vector<Recommendation*> miss_out;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const CacheKey key{model, users[i], n};
+    if (std::optional<CacheEntry> entry = lookup(key, snap, /*count_miss=*/true);
+        entry.has_value()) {
+      results[i].user = users[i];
+      results[i].items = std::move(entry->items);
+      results[i].cached = true;
+      results[i].model_version = entry->model_version;
+      results[i].feature_epoch = entry->feature_epoch;
+    } else {
+      miss_users.push_back(users[i]);
+      miss_out.push_back(&results[i]);
+    }
+  }
+  if (!miss_users.empty()) {
+    score_misses(snap, model, miss_users, n, miss_out);
+  }
+  return results;
+}
+
+Recommendation RecommendService::recommend(const std::string& model, std::int64_t user,
+                                           std::int64_t n) {
+  TAAMR_TRACE_SPAN("serve/request");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto observe_latency = [&t0]() {
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    obs::MetricsRegistry::global()
+        .histogram("serve_request_seconds", {},
+                   obs::exponential_bounds(1e-6, 2.0, 30))
+        .observe(secs);
+  };
+
+  if (n <= 0) throw std::invalid_argument("recommend: n must be positive");
+  if (user < 0 || user >= dataset_.num_users) {
+    throw std::invalid_argument("recommend: user out of range");
+  }
+  const ModelRegistry::Snapshot snap = registry_.get(model);
+  {
+    const CacheKey key{model, user, n};
+    if (std::optional<CacheEntry> entry = lookup(key, snap, /*count_miss=*/false);
+        entry.has_value()) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global()
+          .counter("serve_requests_total", {{"model", model}})
+          .increment();
+      Recommendation rec;
+      rec.user = user;
+      rec.items = std::move(entry->items);
+      rec.cached = true;
+      rec.model_version = entry->model_version;
+      rec.feature_epoch = entry->feature_epoch;
+      observe_latency();
+      return rec;
+    }
+  }
+
+  // Cache miss: join or lead a coalesced batch for this (model, n).
+  std::shared_ptr<PendingBatch> batch;
+  std::size_t index = 0;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(batch_mutex_);
+    if (pending_ != nullptr && !pending_->closed && pending_->model == model &&
+        pending_->n == n &&
+        static_cast<std::int64_t>(pending_->users.size()) < config_.batch_max) {
+      batch = pending_;
+      index = batch->users.size();
+      batch->users.push_back(user);
+      if (static_cast<std::int64_t>(batch->users.size()) >= config_.batch_max) {
+        // Full: wake the leader early instead of letting it linger.
+        batch->closed = true;
+        pending_.reset();
+        batch->cv.notify_all();
+      }
+      batch->cv.wait(lock, [&batch] { return batch->done; });
+    } else {
+      leader = true;
+      batch = std::make_shared<PendingBatch>();
+      batch->model = model;
+      batch->n = n;
+      batch->users.push_back(user);
+      pending_ = batch;
+    }
+  }
+
+  if (leader) {
+    if (config_.batch_window_us > 0) {
+      std::unique_lock<std::mutex> lock(batch_mutex_);
+      batch->cv.wait_for(lock,
+                         std::chrono::microseconds(config_.batch_window_us),
+                         [&batch] { return batch->closed; });
+    }
+    std::vector<std::int64_t> users;
+    {
+      std::lock_guard<std::mutex> lock(batch_mutex_);
+      batch->closed = true;
+      if (pending_ == batch) pending_.reset();
+      users = batch->users;
+    }
+    if (users.size() > 1) {
+      coalesced_batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::vector<Recommendation> results;
+    try {
+      results = recommend_batch(model, users, n);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch_mutex_);
+      batch->error = std::current_exception();
+      batch->done = true;
+      batch->cv.notify_all();
+      throw;
+    }
+    {
+      std::lock_guard<std::mutex> lock(batch_mutex_);
+      batch->results = std::move(results);
+      batch->done = true;
+      batch->cv.notify_all();
+    }
+  }
+
+  Recommendation rec;
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    if (batch->error != nullptr && !leader) {
+      std::rethrow_exception(batch->error);
+    }
+    rec = batch->results[index];
+  }
+  observe_latency();
+  return rec;
+}
+
+std::uint64_t RecommendService::update_item_features(std::int64_t item,
+                                                     std::span<const float> features) {
+  TAAMR_TRACE_SPAN("serve/feature_swap");
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  const std::uint64_t epoch = store_.update(item, features);
+  const Tensor snapshot = store_.snapshot();
+  for (const std::string& name : registry_.names()) {
+    const ModelRegistry::Snapshot snap = registry_.get(name);
+    if (!snap.visual) continue;
+    const auto* vbpr = dynamic_cast<const recsys::Vbpr*>(snap.model.get());
+    if (vbpr == nullptr) continue;
+    // Copy-on-write rebuild: in-flight requests keep scoring the old
+    // immutable model; the registry flips to the rebuilt one atomically.
+    // An AMR model slices to its Vbpr storage here, which scores
+    // identically (serving never trains).
+    auto rebuilt = std::make_shared<recsys::Vbpr>(*vbpr);
+    rebuilt->set_item_features(snapshot);
+    registry_.swap_features(name, std::move(rebuilt), epoch);
+  }
+  feature_swaps_.fetch_add(1, std::memory_order_relaxed);
+  return epoch;
+}
+
+RecommendService::Stats RecommendService::stats() const {
+  Stats st;
+  st.requests = requests_.load(std::memory_order_relaxed);
+  st.cache_hits = hits_.load(std::memory_order_relaxed);
+  st.cache_misses = misses_.load(std::memory_order_relaxed);
+  st.cache_revalidated = revalidated_.load(std::memory_order_relaxed);
+  st.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
+  st.feature_swaps = feature_swaps_.load(std::memory_order_relaxed);
+  st.cache = cache_.stats();
+  return st;
+}
+
+}  // namespace taamr::serve

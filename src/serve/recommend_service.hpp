@@ -1,0 +1,151 @@
+// RecommendService: the thread-safe online query surface over a
+// ModelRegistry + FeatureStore + TopNCache.
+//
+// Request path (recommend):
+//   1. snapshot the model entry (lock-free scoring against an immutable
+//      model — hot swaps never tear an in-flight request);
+//   2. cache lookup with revalidation (below);
+//   3. on miss, join the request coalescer: concurrent misses for the same
+//      (model, n) are batched — the first caller becomes the leader,
+//      lingers up to batch_window_us for followers, then scores the whole
+//      batch through Recommender::score_users (one gathered GEMM tile per
+//      kScoreTile users, tiles spread over the shared ThreadPool).
+//
+// Cache validity (the epoch-invalidation contract):
+//   * entry.model_version != current  -> recompute (new checkpoint);
+//   * entry.feature_epoch == current  -> hit;
+//   * else ask the FeatureStore which items changed in between; the entry
+//     survives iff no changed item is in the cached list and none can
+//     enter it (per-item score vs the list's tail, using the canonical
+//     score-desc/id-asc tie-break). Surviving entries are re-stamped
+//     (serve_cache_revalidated_total) — this is what makes a hot feature
+//     swap invalidate only the affected lists.
+//
+// update_item_features serializes writers, pushes the new row into the
+// store, rebuilds every visual model against the snapshot and swap_features
+// it into the registry. Readers are never blocked: they score whichever
+// immutable model snapshot they hold.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/feature_store.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/topn_cache.hpp"
+
+namespace taamr::serve {
+
+struct ServeConfig {
+  std::int64_t cache_capacity = 4096;    // TAAMR_SERVE_CACHE_CAP
+  std::int64_t cache_shards = 8;         // TAAMR_SERVE_CACHE_SHARDS
+  std::int64_t batch_max = 64;           // TAAMR_SERVE_BATCH_MAX
+  std::int64_t batch_window_us = 200;    // TAAMR_SERVE_BATCH_WINDOW_US
+  std::int64_t update_log_window = 256;  // TAAMR_SERVE_UPDATE_LOG
+  bool exclude_train = true;             // serve unseen items (eval protocol)
+
+  // Reads the TAAMR_SERVE_* environment knobs; malformed values fall back
+  // to the defaults above with a warning.
+  static ServeConfig from_env();
+};
+
+struct Recommendation {
+  std::int64_t user = 0;
+  std::vector<recsys::ScoredItem> items;  // ranked best-first
+  bool cached = false;
+  std::uint64_t model_version = 0;
+  std::uint64_t feature_epoch = 0;
+};
+
+class RecommendService {
+ public:
+  // dataset and registry must outlive the service. raw_features seeds the
+  // feature store ([num_items, D], un-standardized).
+  RecommendService(const data::ImplicitDataset& dataset, ModelRegistry& registry,
+                   Tensor raw_features, ServeConfig config = ServeConfig::from_env());
+
+  // Top-n for one user; blocks briefly while coalescing with concurrent
+  // callers. Throws std::runtime_error for unknown models,
+  // std::invalid_argument for bad user/n.
+  Recommendation recommend(const std::string& model, std::int64_t user, std::int64_t n);
+
+  // Batched entry point (the coalescer leader and bulk clients land here).
+  std::vector<Recommendation> recommend_batch(const std::string& model,
+                                              std::span<const std::int64_t> users,
+                                              std::int64_t n);
+
+  // Hot feature swap: new raw feature row for `item`, visual models rebuilt
+  // and atomically swapped. Returns the new feature epoch. Thread-safe
+  // against concurrent recommend() calls and other updates.
+  std::uint64_t update_item_features(std::int64_t item, std::span<const float> features);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_revalidated = 0;  // subset of cache_hits
+    std::uint64_t coalesced_batches = 0;
+    std::uint64_t feature_swaps = 0;
+    TopNCache::Stats cache;
+    double hit_rate() const {
+      const double total = static_cast<double>(cache_hits + cache_misses);
+      return total > 0.0 ? static_cast<double>(cache_hits) / total : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  const ServeConfig& config() const { return config_; }
+  const FeatureStore& feature_store() const { return store_; }
+  const data::ImplicitDataset& dataset() const { return dataset_; }
+  ModelRegistry& registry() { return registry_; }
+
+ private:
+  struct PendingBatch {
+    std::string model;
+    std::int64_t n = 0;
+    std::vector<std::int64_t> users;
+    std::vector<Recommendation> results;
+    std::exception_ptr error;
+    bool closed = false;  // no longer accepting joiners
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  // Cache lookup + revalidation. Hits are always counted; misses only when
+  // count_miss is set — recommend()'s fast-path probe passes false because
+  // a missing user flows into a coalesced batch whose leader re-probes (and
+  // counts) it in recommend_batch, and counting both would double-book.
+  std::optional<CacheEntry> lookup(const CacheKey& key,
+                                   const ModelRegistry::Snapshot& snap,
+                                   bool count_miss);
+  // Scores `users` (all cache misses) against `snap` and fills results.
+  void score_misses(const ModelRegistry::Snapshot& snap, const std::string& model,
+                    std::span<const std::int64_t> users, std::int64_t n,
+                    std::span<Recommendation*> out);
+
+  const data::ImplicitDataset& dataset_;
+  ModelRegistry& registry_;
+  FeatureStore store_;
+  ServeConfig config_;
+  TopNCache cache_;
+
+  std::mutex update_mutex_;  // serializes feature swaps
+
+  std::mutex batch_mutex_;
+  std::shared_ptr<PendingBatch> pending_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> revalidated_{0};
+  std::atomic<std::uint64_t> coalesced_batches_{0};
+  std::atomic<std::uint64_t> feature_swaps_{0};
+};
+
+}  // namespace taamr::serve

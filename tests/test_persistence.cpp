@@ -9,6 +9,8 @@
 #include "data/amazon_synth.hpp"
 #include "data/dataset.hpp"
 #include "data/serialize.hpp"
+#include "nn/serialize.hpp"
+#include "recsys/bpr_mf.hpp"
 #include "recsys/vbpr.hpp"
 #include "test_helpers.hpp"
 #include "util/ppm.hpp"
@@ -129,6 +131,129 @@ TEST(VbprSerialize, FileRoundtrip) {
   EXPECT_NEAR(restored.score(0, 0), model.score(0, 0), 1e-6f);
   std::remove(path.c_str());
   EXPECT_THROW(recsys::Vbpr::load_file("/nonexistent/x.bin", ds), std::runtime_error);
+}
+
+TEST(BprMfSerialize, RoundtripPreservesScores) {
+  const auto ds = make_dataset();
+  Rng rng(21);
+  recsys::BprMfConfig cfg;
+  cfg.epochs = 15;
+  recsys::BprMf model(ds, cfg, rng);
+  model.fit(ds, rng);
+
+  std::stringstream ss;
+  model.save(ss);
+  recsys::BprMf restored = recsys::BprMf::load(ss, ds);
+  EXPECT_EQ(restored.config().factors, model.config().factors);
+  for (std::int64_t u = 0; u < std::min<std::int64_t>(ds.num_users, 5); ++u) {
+    for (std::int32_t i = 0; i < ds.num_items; i += 13) {
+      ASSERT_NEAR(restored.score(u, i), model.score(u, i), 1e-6f);
+    }
+  }
+}
+
+TEST(BprMfSerialize, FileRoundtrip) {
+  const auto ds = make_dataset();
+  Rng rng(22);
+  recsys::BprMf model(ds, {}, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "taamr_bprmf_test.bin").string();
+  model.save_file(path);
+  recsys::BprMf restored = recsys::BprMf::load_file(path, ds);
+  EXPECT_NEAR(restored.score(0, 0), model.score(0, 0), 1e-6f);
+  std::remove(path.c_str());
+  EXPECT_THROW(recsys::BprMf::load_file("/nonexistent/x.bin", ds), std::runtime_error);
+}
+
+TEST(BprMfSerialize, RejectsMismatchedDataset) {
+  const auto ds = make_dataset();
+  Rng rng(23);
+  recsys::BprMf model(ds, {}, rng);
+  std::stringstream ss;
+  model.save(ss);
+  auto other_spec = data::amazon_men_spec(data::kTestScale);
+  other_spec.num_users += 5;
+  const auto other = data::generate_synthetic_dataset(other_spec);
+  EXPECT_THROW(recsys::BprMf::load(ss, other), std::runtime_error);
+}
+
+// Corrupt checkpoints must surface as descriptive runtime_errors naming the
+// loader, not as raw io errors or silent garbage models (the serving
+// registry forwards these messages to operators).
+template <typename LoadFn>
+void expect_descriptive_load_error(const std::string& blob, LoadFn load,
+                                   const std::string& expected_prefix) {
+  try {
+    load(blob);
+    FAIL() << "corrupt checkpoint was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(expected_prefix), std::string::npos)
+        << "error lacks loader name: " << e.what();
+  }
+}
+
+TEST(CheckpointCorruption, VbprTruncatedAndGarbage) {
+  const auto ds = make_dataset();
+  Rng rng(24);
+  recsys::Vbpr model(ds, make_features(ds, rng), {}, rng);
+  std::stringstream ss;
+  model.save(ss);
+  const std::string blob = ss.str();
+
+  auto load = [&ds](const std::string& bytes) {
+    std::stringstream is(bytes);
+    recsys::Vbpr::load(is, ds);
+  };
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{6}, blob.size() / 3,
+                                 blob.size() / 2, blob.size() - 1}) {
+    expect_descriptive_load_error(blob.substr(0, keep), load, "Vbpr::load");
+  }
+  expect_descriptive_load_error("this is not a checkpoint at all", load, "Vbpr::load");
+  std::string flipped = blob;
+  flipped[0] ^= 0x5a;  // corrupt the magic
+  expect_descriptive_load_error(flipped, load, "Vbpr::load");
+}
+
+TEST(CheckpointCorruption, BprMfTruncatedAndGarbage) {
+  const auto ds = make_dataset();
+  Rng rng(25);
+  recsys::BprMf model(ds, {}, rng);
+  std::stringstream ss;
+  model.save(ss);
+  const std::string blob = ss.str();
+
+  auto load = [&ds](const std::string& bytes) {
+    std::stringstream is(bytes);
+    recsys::BprMf::load(is, ds);
+  };
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{6}, blob.size() / 2,
+                                 blob.size() - 1}) {
+    expect_descriptive_load_error(blob.substr(0, keep), load, "BprMf::load");
+  }
+  expect_descriptive_load_error("garbage bytes", load, "BprMf::load");
+}
+
+TEST(CheckpointCorruption, ClassifierTruncatedAndGarbage) {
+  nn::MiniResNetConfig cfg;
+  cfg.image_size = 8;
+  cfg.base_width = 4;
+  cfg.blocks_per_stage = 1;
+  cfg.num_classes = 3;
+  Rng rng(26);
+  nn::Classifier model(cfg, rng);
+  std::stringstream ss;
+  nn::save_classifier(ss, model);
+  const std::string blob = ss.str();
+
+  auto load = [](const std::string& bytes) {
+    std::stringstream is(bytes);
+    nn::load_classifier(is);
+  };
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{6}, blob.size() / 2,
+                                 blob.size() - 1}) {
+    expect_descriptive_load_error(blob.substr(0, keep), load, "load_classifier");
+  }
+  expect_descriptive_load_error("not a classifier", load, "load_classifier");
 }
 
 TEST(Ppm, WritesValidHeaderAndSize) {

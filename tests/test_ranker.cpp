@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "recsys/ranker.hpp"
 
 namespace taamr {
@@ -92,6 +94,61 @@ TEST(Ranker, ItemRankCountsStrictlyBetter) {
   // Training items have no rank.
   EXPECT_EQ(recsys::item_rank(model, ds, 0, 0), -1);
   EXPECT_THROW(recsys::item_rank(model, ds, 0, 99), std::invalid_argument);
+}
+
+TEST(Ranker, TopNFromRowCanonicalOrder) {
+  // Score desc, then item id asc — the pinned serving/caching contract.
+  const std::vector<float> row = {0.5f, 0.9f, 0.5f, 0.9f, 0.1f};
+  const auto top = recsys::top_n_from_row({row.data(), row.size()}, 4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0], (recsys::ScoredItem{1, 0.9f}));
+  EXPECT_EQ(top[1], (recsys::ScoredItem{3, 0.9f}));
+  EXPECT_EQ(top[2], (recsys::ScoredItem{0, 0.5f}));
+  EXPECT_EQ(top[3], (recsys::ScoredItem{2, 0.5f}));
+}
+
+TEST(Ranker, TopNFromRowAllTiedIsIdOrder) {
+  const std::vector<float> row(6, 1.0f);
+  const auto top = recsys::top_n_from_row({row.data(), row.size()}, 6);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].item, static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(Ranker, TopNFromRowDropMasked) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  const std::vector<float> row = {-kInf, 0.9f, -kInf, 0.3f, 0.5f};
+  // Offline behaviour: masked items trail the list.
+  const auto kept = recsys::top_n_from_row({row.data(), row.size()}, 5);
+  ASSERT_EQ(kept.size(), 5u);
+  EXPECT_EQ(kept[3].item, 0);  // -inf entries, id-ordered, at the tail
+  EXPECT_EQ(kept[4].item, 2);
+  // Serving behaviour: masked items are removed entirely.
+  const auto dropped =
+      recsys::top_n_from_row({row.data(), row.size()}, 5, /*drop_masked=*/true);
+  ASSERT_EQ(dropped.size(), 3u);
+  EXPECT_EQ(dropped[0], (recsys::ScoredItem{1, 0.9f}));
+  EXPECT_EQ(dropped[1], (recsys::ScoredItem{4, 0.5f}));
+  EXPECT_EQ(dropped[2], (recsys::ScoredItem{3, 0.3f}));
+}
+
+TEST(Ranker, TopNFromRowValidates) {
+  const std::vector<float> row = {1.0f, 2.0f};
+  EXPECT_THROW(recsys::top_n_from_row({row.data(), row.size()}, 0),
+               std::invalid_argument);
+  const auto clamped = recsys::top_n_from_row({row.data(), row.size()}, 10);
+  EXPECT_EQ(clamped.size(), 2u);
+}
+
+TEST(Ranker, ItemRankDeterministicTieBreak) {
+  // All scores equal: rank must follow item id among non-train items, so a
+  // tied catalog still ranks deterministically. User 0 trains on item 0.
+  const auto ds = two_user_dataset();
+  MockRecommender model(2, {1, 1, 1, 1, 1});
+  EXPECT_EQ(recsys::item_rank(model, ds, 0, 1), 1);
+  EXPECT_EQ(recsys::item_rank(model, ds, 0, 2), 2);
+  EXPECT_EQ(recsys::item_rank(model, ds, 0, 3), 3);
+  EXPECT_EQ(recsys::item_rank(model, ds, 0, 4), 4);
 }
 
 TEST(Ranker, ItemRankConsistentWithTopN) {

@@ -1,0 +1,234 @@
+// taamr_serve: online serving front-end over src/serve. Boots the TAaMR
+// pipeline (synthetic dataset, product images, CNN features), trains the
+// recommenders, then answers newline-delimited JSON requests over stdin or
+// a TCP loopback socket (see serve/protocol.hpp for the wire format).
+//
+//   taamr_serve --scale 0.004 --vbpr-epochs 20            # stdin/stdout
+//   taamr_serve --port 7787 &                             # 127.0.0.1:7787
+//
+// The update_image op closes the paper's loop online: re-render the item's
+// product photo from a new seed (a stand-in for an adversarially replaced
+// image), re-extract its CNN features, and hot-swap them into the serving
+// models — subsequent recommend responses reflect the new features.
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/image_gen.hpp"
+#include "recsys/bpr_mf.hpp"
+#include "serve/protocol.hpp"
+#include "serve/recommend_service.hpp"
+#include "util/args.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace taamr;
+
+struct Server {
+  core::Pipeline* pipeline = nullptr;
+  serve::ModelRegistry* registry = nullptr;
+  serve::RecommendService* service = nullptr;
+  std::mutex classifier_mutex;  // feature extraction mutates layer scratch
+  std::atomic<bool> shutting_down{false};
+
+  std::string handle_line(const std::string& line);
+};
+
+std::string Server::handle_line(const std::string& line) {
+  try {
+    const serve::Request req = serve::parse_request(line);
+    switch (req.op) {
+      case serve::Op::kRecommend: {
+        const serve::Recommendation rec =
+            service->recommend(req.model, req.user, req.n);
+        return serve::format_recommendation(rec);
+      }
+      case serve::Op::kUpdateFeatures: {
+        const std::uint64_t epoch =
+            service->update_item_features(req.item, req.features);
+        return serve::format_ok("\"epoch\":" + std::to_string(epoch));
+      }
+      case serve::Op::kUpdateImage: {
+        const auto& dataset = service->dataset();
+        if (req.item < 0 || req.item >= dataset.num_items) {
+          return serve::format_error("update_image: item out of range");
+        }
+        const auto& taxonomy = data::fashion_taxonomy();
+        const std::int32_t cat =
+            dataset.item_category[static_cast<std::size_t>(req.item)];
+        const Tensor img = data::render_item_image(
+            taxonomy[static_cast<std::size_t>(cat)].style, req.seed,
+            pipeline->config().image_config());
+        Tensor batch(img.shape(), std::vector<float>(img.data(), img.data() + img.numel()));
+        batch.reshape({1, img.dim(0), img.dim(1), img.dim(2)});
+        Tensor feats;
+        {
+          std::lock_guard<std::mutex> lock(classifier_mutex);
+          feats = pipeline->classifier().features(batch);
+        }
+        const std::uint64_t epoch = service->update_item_features(
+            req.item, {feats.data(), static_cast<std::size_t>(feats.dim(1))});
+        return serve::format_ok("\"epoch\":" + std::to_string(epoch));
+      }
+      case serve::Op::kSwapModel: {
+        if (req.kind == "vbpr") {
+          registry->load_vbpr(req.model, req.path);
+        } else {
+          registry->load_bpr_mf(req.model, req.path);
+        }
+        return serve::format_ok("\"model\":\"" + req.model + "\"");
+      }
+      case serve::Op::kModels:
+        return serve::format_models(registry->names());
+      case serve::Op::kStats:
+        return serve::format_stats(service->stats());
+      case serve::Op::kShutdown:
+        shutting_down.store(true);
+        return serve::format_ok();
+    }
+    return serve::format_error("unhandled op");
+  } catch (const std::exception& e) {
+    return serve::format_error(e.what());
+  }
+}
+
+void serve_stdin(Server& server) {
+  std::string line;
+  while (!server.shutting_down.load() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::cout << server.handle_line(line) << "\n" << std::flush;
+  }
+}
+
+void serve_connection(Server& server, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!server.shutting_down.load()) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (line.empty()) continue;
+      const std::string response = server.handle_line(line) + "\n";
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t w = ::write(fd, response.data() + sent, response.size() - sent);
+        if (w <= 0) { ::close(fd); return; }
+        sent += static_cast<std::size_t>(w);
+      }
+      if (server.shutting_down.load()) { ::close(fd); return; }
+    }
+  }
+  ::close(fd);
+}
+
+int serve_tcp(Server& server, int port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "taamr_serve: socket() failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::cerr << "taamr_serve: bind/listen on 127.0.0.1:" << port
+              << " failed: " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  std::cout << "taamr_serve: listening on 127.0.0.1:" << port << "\n" << std::flush;
+
+  // Poll-then-accept so a shutdown op (handled on a connection thread) is
+  // noticed within one poll interval — a blocking accept() would keep the
+  // process alive until the next client connected.
+  std::vector<std::thread> workers;
+  while (!server.shutting_down.load()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;
+    if (server.shutting_down.load()) { ::close(fd); break; }
+    workers.emplace_back([&server, fd] { serve_connection(server, fd); });
+  }
+  ::close(listen_fd);
+  for (std::thread& t : workers) t.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace taamr;
+  ArgParser args(argc, argv);
+
+  core::PipelineConfig config;
+  config.dataset_name = args.get("dataset", "Amazon Men");
+  config.scale = args.get_double("scale", data::kTestScale);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.image_size = args.get_int("image-size", 16);
+  config.cnn_epochs = args.get_int("cnn-epochs", 1);
+  config.cnn_images_per_category = args.get_int("images-per-cat", 24);
+  config.vbpr.epochs = args.get_int("vbpr-epochs", 20);
+  config.cache_dir = args.get("cache-dir", "");
+  const std::int64_t bpr_epochs = args.get_int("bpr-epochs", 20);
+  const int port = static_cast<int>(args.get_int("port", 0));
+
+  for (const std::string& flag : args.unused()) {
+    std::cerr << "taamr_serve: unknown flag --" << flag << "\n";
+    return 2;
+  }
+
+  core::Pipeline pipeline(config);
+  pipeline.prepare();
+  const data::ImplicitDataset& dataset = pipeline.dataset();
+
+  serve::ModelRegistry registry(dataset);
+  registry.register_model("vbpr", std::shared_ptr<const recsys::Vbpr>(pipeline.train_vbpr()),
+                          /*visual=*/true);
+  {
+    Rng rng(config.seed + 17);
+    recsys::BprMfConfig bpr_config;
+    bpr_config.epochs = bpr_epochs;
+    auto bpr = std::make_shared<recsys::BprMf>(dataset, bpr_config, rng);
+    bpr->fit(dataset, rng);
+    registry.register_model("bpr_mf", std::move(bpr), /*visual=*/false);
+  }
+
+  serve::RecommendService service(dataset, registry, pipeline.clean_features());
+
+  Server server;
+  server.pipeline = &pipeline;
+  server.registry = &registry;
+  server.service = &service;
+
+  std::cout << "taamr_serve: ready (" << dataset.name << ", " << dataset.num_users
+            << " users, " << dataset.num_items << " items, models: vbpr bpr_mf)\n"
+            << std::flush;
+
+  if (port > 0) return serve_tcp(server, port);
+  serve_stdin(server);
+  return 0;
+}
