@@ -32,7 +32,7 @@ int main() {
 
   // Shared PGD eps=8 attack on the similar scenario.
   const auto batch = pipeline.attack_category(data::kSock, data::kRunningShoe,
-                                              attack::AttackKind::kPgd, 8.0f);
+                                              "pgd", 8.0f);
   const Tensor attacked_features =
       pipeline.features_with_attack(batch.items, batch.attacked_images);
 
@@ -68,7 +68,7 @@ int main() {
         attack::AttackConfig acfg;
         acfg.epsilon = attack::epsilon_from_255(8.0f);
         acfg.iterations = iters;
-        auto attacker = attack::make_attack(attack::AttackKind::kPgd, acfg);
+        auto attacker = attack::make("pgd", acfg);
         const auto items = ds.items_of_category(data::kSock);
         const Tensor clean = data::gather_images(pipeline.catalog(), items);
         const std::vector<std::int64_t> targets(items.size(), target);

@@ -37,7 +37,7 @@ int main() {
   bpr.fit(ds, mf_rng);
 
   const auto batch = pipeline.attack_category(data::kSock, data::kRunningShoe,
-                                              attack::AttackKind::kPgd, 16.0f);
+                                              "pgd", 16.0f);
   const Tensor attacked =
       pipeline.features_with_attack(batch.items, batch.attacked_images);
 

@@ -85,7 +85,7 @@ int main() {
   t2.header({"Feature extractor", "CHR before (%)", "CHR after (%)"});
   {
     const auto batch = pipeline.attack_category(data::kSock, data::kRunningShoe,
-                                                attack::AttackKind::kPgd, 16.0f);
+                                                "pgd", 16.0f);
     const auto before = recsys::top_n_lists(*vbpr_std, ds, 100);
     vbpr_std->set_item_features(
         pipeline.features_with_attack(batch.items, batch.attacked_images));

@@ -1,9 +1,10 @@
 // Regenerates Fig. 2: a concrete product image before/after a PGD (eps=8)
 // attack against VBPR — classifier probability and recommendation position
 // of the same item in both states.
+#include <filesystem>
 #include <iostream>
 
-#include "attack/pgd.hpp"
+#include "attack/attack.hpp"
 #include "bench_common.hpp"
 #include "core/report.hpp"
 #include "data/categories.hpp"
@@ -12,7 +13,8 @@
 namespace {
 
 // Re-render the showcased item and its PGD eps=8 counterpart and write both
-// to PPM files so the figure can actually be looked at.
+// to PPM files (under artifacts/, kept out of the repo root and of git) so
+// the figure can actually be looked at.
 void export_images(const taamr::core::DatasetResults& results,
                    const std::string& tag) {
   using namespace taamr;
@@ -24,14 +26,16 @@ void export_images(const taamr::core::DatasetResults& results,
   const Tensor clean = data::gather_images(pipeline.catalog(), item);
   attack::AttackConfig acfg;
   acfg.epsilon = attack::epsilon_from_255(8.0f);
-  attack::Pgd pgd(acfg);
+  auto pgd = attack::make("pgd", acfg);
   const std::vector<std::int64_t> targets = {results.fig2.target_category};
   Rng rng(cfg.seed ^ 0xf162);
-  const Tensor adv = pgd.perturb(pipeline.classifier(), clean, targets, rng);
+  const Tensor adv = pgd->perturb(pipeline.classifier(), clean, targets, rng);
   const Shape img = {3, clean.dim(2), clean.dim(3)};
-  write_ppm("fig2_" + tag + "_original.ppm", clean.reshaped(img), /*upscale=*/8);
-  write_ppm("fig2_" + tag + "_attacked.ppm", adv.reshaped(img), /*upscale=*/8);
-  std::cout << "  wrote fig2_" << tag << "_original.ppm / _attacked.ppm (8x upscale)\n";
+  std::filesystem::create_directories("artifacts");
+  const std::string stem = "artifacts/fig2_" + tag;
+  write_ppm(stem + "_original.ppm", clean.reshaped(img), /*upscale=*/8);
+  write_ppm(stem + "_attacked.ppm", adv.reshaped(img), /*upscale=*/8);
+  std::cout << "  wrote " << stem << "_original.ppm / _attacked.ppm (8x upscale)\n";
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -16,6 +17,7 @@
 #include "recsys/vbpr.hpp"
 #include "tensor/conv_lowering.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd/dispatch.hpp"
 
 namespace {
 
@@ -98,7 +100,7 @@ void BM_FgsmPerImage(benchmark::State& state) {
   for (float& v : x.storage()) v = rng.uniform_f();
   const std::vector<std::int64_t> targets(8, 2);
   attack::AttackConfig cfg;
-  auto fgsm = attack::make_attack(attack::AttackKind::kFgsm, cfg);
+  auto fgsm = attack::make("fgsm", cfg);
   for (auto _ : state) {
     Tensor adv = fgsm->perturb(c, x, targets, rng);
     benchmark::DoNotOptimize(adv.data());
@@ -114,7 +116,7 @@ void BM_Pgd10PerImage(benchmark::State& state) {
   for (float& v : x.storage()) v = rng.uniform_f();
   const std::vector<std::int64_t> targets(8, 2);
   attack::AttackConfig cfg;
-  auto pgd = attack::make_attack(attack::AttackKind::kPgd, cfg);
+  auto pgd = attack::make("pgd", cfg);
   for (auto _ : state) {
     Tensor adv = pgd->perturb(c, x, targets, rng);
     benchmark::DoNotOptimize(adv.data());
@@ -209,6 +211,62 @@ bool report_gemm_scaling(taamr::bench::Reporter& reporter) {
                      static_cast<std::size_t>(n * n) * sizeof(float)) == 0;
 }
 
+// SIMD substrate probe: times the scalar and AVX2 GEMM panel kernels
+// directly (single thread, whole matrix as one panel) and books per-variant
+// GFLOP/s plus the gemm_simd_speedup ratio into the artifact; the regression
+// gate pins the speedup. When the host (or build) lacks AVX2+FMA the probe
+// books speedup = 1 and skips the comparison. Also enforces the documented
+// accuracy contract: AVX2 must match scalar elementwise within epsilon.
+bool report_gemm_simd(taamr::bench::Reporter& reporter) {
+  const std::int64_t n = 256;
+  const double flops_per_iter = 2.0 * static_cast<double>(n) * n * n;
+  Rng rng(11);
+  Tensor a({n, n}), b({n, n});
+  for (float& v : a.storage()) v = rng.uniform_f();
+  for (float& v : b.storage()) v = rng.uniform_f();
+
+  const int iters = 6;
+  const auto time_gflops = [&](const simd::Kernels& kern, Tensor& c) {
+    Stopwatch timer;
+    for (int it = 0; it < iters; ++it) {
+      std::fill(c.storage().begin(), c.storage().end(), 0.0f);
+      kern.gemm_panel(c.data(), a.data(), b.data(), 0, n, n, n);
+    }
+    return iters * flops_per_iter / timer.seconds() / 1e9;
+  };
+
+  Tensor c_scalar({n, n});
+  const simd::Kernels* scalar = simd::kernels_for(simd::Variant::kScalar);
+  const double g_scalar = time_gflops(*scalar, c_scalar);
+  reporter.add_metric("gemm_gflops",
+                      {{"threads", "1"}, {"simd_variant", "scalar"}}, g_scalar);
+
+  const simd::Kernels* avx2 = simd::kernels_for(simd::Variant::kAvx2);
+  if (avx2 == nullptr || !simd::avx2_supported()) {
+    std::fprintf(stderr, "gemm simd probe: AVX2 unavailable, skipping\n");
+    reporter.add_metric("gemm_simd_speedup", {}, 1.0);
+    return true;
+  }
+  Tensor c_avx2({n, n});
+  const double g_avx2 = time_gflops(*avx2, c_avx2);
+  reporter.add_metric("gemm_gflops",
+                      {{"threads", "1"}, {"simd_variant", "avx2"}}, g_avx2);
+  reporter.add_metric("gemm_simd_speedup", {}, g_avx2 / g_scalar);
+
+  // Accuracy contract: different accumulation order, so epsilon not
+  // bit-identity — k = 256 dot products of uniform [0,1) values stay well
+  // inside 1e-3 absolute.
+  for (std::int64_t i = 0; i < n * n; ++i) {
+    if (std::abs(c_scalar[i] - c_avx2[i]) > 1e-3f) {
+      std::fprintf(stderr, "gemm simd probe: |scalar - avx2| = %g at %lld\n",
+                   static_cast<double>(std::abs(c_scalar[i] - c_avx2[i])),
+                   static_cast<long long>(i));
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN() so the run also leaves a BENCH_micro_substrate.json
@@ -220,6 +278,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   if (!report_gemm_scaling(reporter)) {
     std::fprintf(stderr, "gemm scaling probe: pooled result != serial result\n");
+    return 1;
+  }
+  if (!report_gemm_simd(reporter)) {
+    std::fprintf(stderr, "gemm simd probe: scalar/avx2 parity failed\n");
     return 1;
   }
   benchmark::Shutdown();

@@ -1,0 +1,61 @@
+# SIMD substrate gate, run via
+#   cmake -DBENCH_BIN=<micro_substrate> -DWORK_DIR=... -P SimdSubstrateGate.cmake
+# Optional: -DMIN_SPEEDUP=<x> (default 2.0).
+#
+# Runs micro_substrate with every google-benchmark filtered out (the probe
+# section at the end still executes) and pins the AVX2-over-scalar GEMM
+# throughput ratio the probe records into BENCH_micro_substrate.json:
+#   1. the run itself must exit zero (the probe enforces scalar/AVX2
+#      elementwise parity and serial/pooled bit-identity internally),
+#   2. when the artifact carries an avx2-labelled sample the recorded
+#      gemm_simd_speedup must be at least MIN_SPEEDUP.
+# Hosts without AVX2+FMA pass trivially: the probe books speedup = 1 and no
+# avx2-labelled sample, so there is nothing to pin.
+cmake_minimum_required(VERSION 3.16)
+
+foreach(var BENCH_BIN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "SimdSubstrateGate: ${var} not set")
+  endif()
+endforeach()
+if(NOT DEFINED MIN_SPEEDUP)
+  set(MIN_SPEEDUP 2.0)
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "TAAMR_BENCH_DIR=${WORK_DIR}"
+          ${BENCH_BIN} --benchmark_filter=^$
+  RESULT_VARIABLE rc
+  OUTPUT_FILE "${WORK_DIR}/stdout.log"
+  ERROR_FILE "${WORK_DIR}/stderr.log"
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "SimdSubstrateGate: micro_substrate failed (rc=${rc}) — parity probe tripped?")
+endif()
+
+set(artifact "${WORK_DIR}/BENCH_micro_substrate.json")
+if(NOT EXISTS "${artifact}")
+  message(FATAL_ERROR "SimdSubstrateGate: no ${artifact}")
+endif()
+file(READ "${artifact}" text)
+
+if(NOT text MATCHES "\"simd_variant\":\"avx2\"")
+  message(STATUS "SimdSubstrateGate: PASS (AVX2 unavailable on this host; speedup not pinned)")
+  return()
+endif()
+
+if(NOT text MATCHES "\"name\":\"gemm_simd_speedup\",\"labels\":{},\"value\":([0-9.]+)")
+  message(FATAL_ERROR "SimdSubstrateGate: no gemm_simd_speedup metric in artifact")
+endif()
+set(speedup ${CMAKE_MATCH_1})
+
+# VERSION_LESS gives a numeric, component-wise comparison of the decimal
+# strings ("11.3" vs "2.0"), which plain LESS does not guarantee for reals.
+if(speedup VERSION_LESS MIN_SPEEDUP)
+  message(FATAL_ERROR "SimdSubstrateGate: AVX2 GEMM speedup ${speedup}x is below the ${MIN_SPEEDUP}x floor")
+endif()
+message(STATUS "SimdSubstrateGate: PASS (AVX2 GEMM speedup ${speedup}x >= ${MIN_SPEEDUP}x)")

@@ -36,7 +36,7 @@ int main() {
 
   // Attack: Maillot -> Brassiere (the paper's similar pair on Amazon Women).
   const auto batch = pipeline.attack_category(data::kMaillot, data::kBrassiere,
-                                              attack::AttackKind::kPgd, 16.0f);
+                                              "pgd", 16.0f);
   const Tensor attacked =
       pipeline.features_with_attack(batch.items, batch.attacked_images);
 

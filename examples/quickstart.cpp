@@ -68,7 +68,7 @@ int main() {
 
   // Stage 5: a small targeted attack — push every Sock toward Running Shoe.
   const auto batch = pipeline.attack_category(data::kSock, data::kRunningShoe,
-                                              attack::AttackKind::kFgsm, 8.0f);
+                                              "fgsm", 8.0f);
   const auto success = metrics::attack_success(
       pipeline.classifier(), batch.attacked_images, data::kRunningShoe);
   std::cout << "\nFGSM eps=8/255, Sock -> Running Shoe: " << batch.items.size()

@@ -46,7 +46,7 @@ int main() {
   t.header({"eps (/255)", "success", "CHR@100 after (%)", "PSNR (dB)", "SSIM"});
   for (float eps : {2.0f, 4.0f, 8.0f, 16.0f}) {
     const auto batch = pipeline.attack_category(data::kSock, data::kRunningShoe,
-                                                attack::AttackKind::kPgd, eps);
+                                                "pgd", eps);
     const auto success = metrics::attack_success(
         pipeline.classifier(), batch.attacked_images, data::kRunningShoe);
     const auto visual = metrics::average_visual_quality(
@@ -67,7 +67,7 @@ int main() {
 
   // Fig. 2-style single item: rank of the most convincingly flipped sock.
   const auto batch = pipeline.attack_category(data::kSock, data::kRunningShoe,
-                                              attack::AttackKind::kPgd, 8.0f);
+                                              "pgd", 8.0f);
   const Tensor probs =
       pipeline.classifier().probabilities(batch.attacked_images);
   std::int64_t best = 0;

@@ -50,7 +50,7 @@ int main() {
     attack::AttackConfig acfg;
     acfg.epsilon = attack::epsilon_from_255(eps);
     acfg.targeted = false;
-    auto fgsm = attack::make_attack(attack::AttackKind::kFgsm, acfg);
+    auto fgsm = attack::make("fgsm", acfg);
     Rng rng(100 + static_cast<std::uint64_t>(eps));
     const Tensor adv = fgsm->perturb(pipeline.classifier(), clean, true_labels, rng);
     const double moved =

@@ -1,10 +1,14 @@
 #include "attack/attack.hpp"
 
-#include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
+#include "attack/carlini_wagner.hpp"
+#include "attack/feature_match.hpp"
 #include "attack/fgsm.hpp"
+#include "attack/mim.hpp"
 #include "attack/pgd.hpp"
+#include "tensor/simd/dispatch.hpp"
 
 namespace taamr::attack {
 
@@ -14,41 +18,126 @@ void AttackConfig::validate() const {
   if (iterations <= 0) throw std::invalid_argument("AttackConfig: iterations must be > 0");
 }
 
-Attack::Attack(AttackConfig config) : config_(config) { config_.validate(); }
+Attack::Attack(AttackConfig config) : config_(std::move(config)) { config_.validate(); }
 
 Attack::~Attack() = default;
 
 void Attack::project(Tensor& candidate, const Tensor& original) const {
   check_same_shape(candidate, original, "Attack::project");
-  const float eps = config_.epsilon;
-  const std::int64_t n = candidate.numel();
-  float* c = candidate.data();
-  const float* o = original.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float lo = std::max(o[i] - eps, config_.clip_min);
-    const float hi = std::min(o[i] + eps, config_.clip_max);
-    c[i] = std::clamp(c[i], lo, hi);
-  }
+  simd::active().project_linf(candidate.data(), original.data(), config_.epsilon,
+                              config_.clip_min, config_.clip_max,
+                              candidate.numel());
 }
 
-std::unique_ptr<Attack> make_attack(AttackKind kind, AttackConfig config) {
-  switch (kind) {
-    case AttackKind::kFgsm:
-      return std::make_unique<Fgsm>(config);
-    case AttackKind::kPgd:
-      return std::make_unique<Pgd>(config);
-  }
-  throw std::invalid_argument("make_attack: unknown attack kind");
+// ---- registry ---------------------------------------------------------------
+
+namespace {
+
+struct RegistryEntry {
+  std::string display;
+  Factory factory;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, RegistryEntry> entries;
+};
+
+// Leaked: attacks may be constructed from static contexts in tools.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
 }
 
-std::string attack_kind_name(AttackKind kind) {
-  switch (kind) {
-    case AttackKind::kFgsm:
-      return "FGSM";
-    case AttackKind::kPgd:
-      return "PGD";
+bool register_entry(const std::string& key, const std::string& display_name,
+                    Factory factory) {
+  if (key.empty() || !factory) {
+    throw std::invalid_argument("register_attack: empty key or factory");
   }
-  return "?";
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.entries.emplace(key, RegistryEntry{display_name, std::move(factory)})
+      .second;
+}
+
+// The built-ins are registered centrally (not via per-TU static
+// initializers, which a static-library link would happily dead-strip).
+void ensure_builtins() {
+  static const bool once = [] {
+    register_entry("fgsm", "FGSM", [](const AttackConfig& c) {
+      return std::unique_ptr<Attack>(std::make_unique<Fgsm>(c));
+    });
+    register_entry("pgd", "PGD", [](const AttackConfig& c) {
+      return std::unique_ptr<Attack>(std::make_unique<Pgd>(c));
+    });
+    register_entry("mim", "MIM", [](const AttackConfig& c) {
+      return std::unique_ptr<Attack>(std::make_unique<Mim>(c));
+    });
+    // The paper's C&W is unconstrained-L2; the registry contract promises
+    // an l_inf ball, so the factory turns the final projection on unless
+    // the caller set "project_linf" explicitly (0 restores the paper's
+    // behavior, as does constructing CarliniWagner directly).
+    register_entry("cw", "C&W-L2", [](const AttackConfig& c) {
+      AttackConfig cfg = c;
+      cfg.params.emplace("project_linf", 1.0f);
+      return std::unique_ptr<Attack>(std::make_unique<CarliniWagner>(cfg));
+    });
+    register_entry("feature_match", "FeatureMatch", [](const AttackConfig& c) {
+      return std::unique_ptr<Attack>(std::make_unique<FeatureMatch>(c));
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+bool register_attack(const std::string& key, const std::string& display_name,
+                     Factory factory) {
+  ensure_builtins();  // built-ins keep priority over later registrations
+  return register_entry(key, display_name, std::move(factory));
+}
+
+std::unique_ptr<Attack> make(const std::string& key, AttackConfig config) {
+  ensure_builtins();
+  Factory factory;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.entries.find(key);
+    if (it == r.entries.end()) {
+      std::string known;
+      for (const auto& [k, e] : r.entries) {
+        if (!known.empty()) known += ", ";
+        known += k;
+      }
+      throw std::invalid_argument("attack::make: unknown attack '" + key +
+                                  "' (registered: " + known + ")");
+    }
+    factory = it->second.factory;
+  }
+  return factory(config);
+}
+
+std::vector<std::string> registered() {
+  ensure_builtins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> keys;
+  keys.reserve(r.entries.size());
+  for (const auto& [k, e] : r.entries) keys.push_back(k);
+  return keys;
+}
+
+std::string display_name(const std::string& key) {
+  ensure_builtins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.entries.find(key);
+  if (it == r.entries.end()) {
+    throw std::invalid_argument("attack::display_name: unknown attack '" + key + "'");
+  }
+  return it->second.display;
 }
 
 }  // namespace taamr::attack

@@ -7,9 +7,22 @@
 //    use epsilon_from_255).
 //  - `labels` are target classes for targeted attacks (loss is *descended*)
 //    and true classes for untargeted attacks (loss is *ascended*).
+//
+// Attacks are created through a string-keyed registry:
+//
+//   auto atk = attack::make("pgd", config);
+//
+// Built-in keys: "fgsm", "pgd", "mim", "cw", "feature_match" (see
+// registered() / display_name()). Attack-specific knobs travel in
+// AttackConfig::params — an opaque name->value section each attack reads
+// with config.param(key, fallback) — instead of parallel config structs;
+// attacks that need tensor-valued input (FeatureMatch's target feature
+// vectors) take it from AttackConfig::payload.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,11 +41,24 @@ struct AttackConfig {
   float clip_min = 0.0f;
   float clip_max = 1.0f;
 
-  // PGD-only knobs (ignored by FGSM). step_size <= 0 selects the standard
+  // Iteration knobs (ignored by FGSM). step_size <= 0 selects the standard
   // 2.5 * epsilon / iterations schedule (Madry et al.).
   std::int64_t iterations = 10;
   float step_size = 0.0f;
   bool random_start = true;
+
+  // Opaque per-attack section. Numeric knobs by name — e.g. MIM's "decay",
+  // C&W's "binary_search_steps" / "initial_c" / "learning_rate" /
+  // "confidence" / "project_linf" — plus an optional tensor payload
+  // (FeatureMatch's [N, D] target features). Attacks ignore keys they do
+  // not read.
+  std::map<std::string, float> params;
+  std::shared_ptr<const Tensor> payload;
+
+  float param(const std::string& key, float fallback) const {
+    const auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
 
   float effective_step() const {
     return step_size > 0.0f ? step_size
@@ -63,9 +89,23 @@ class Attack {
   AttackConfig config_;
 };
 
-enum class AttackKind { kFgsm, kPgd };
+// ---- string-keyed factory/registry ------------------------------------------
 
-std::unique_ptr<Attack> make_attack(AttackKind kind, AttackConfig config);
-std::string attack_kind_name(AttackKind kind);
+using Factory = std::function<std::unique_ptr<Attack>(const AttackConfig&)>;
+
+// Instantiates the attack registered under `key` ("pgd", "cw", ...). Throws
+// std::invalid_argument for unknown keys, listing the registered ones.
+std::unique_ptr<Attack> make(const std::string& key, AttackConfig config = {});
+
+// Registers an attack under `key` with a human-readable display name (the
+// string tables and reports print). Returns false if the key is taken.
+bool register_attack(const std::string& key, const std::string& display_name,
+                     Factory factory);
+
+// Sorted keys of every registered attack.
+std::vector<std::string> registered();
+
+// Display name for a registered key ("pgd" -> "PGD"). Throws for unknown keys.
+std::string display_name(const std::string& key);
 
 }  // namespace taamr::attack

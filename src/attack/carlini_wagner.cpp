@@ -13,18 +13,24 @@
 
 namespace taamr::attack {
 
-void CwConfig::validate() const {
-  if (iterations <= 0 || binary_search_steps <= 0) {
-    throw std::invalid_argument("CwConfig: non-positive iteration counts");
+CarliniWagner::CarliniWagner(AttackConfig config)
+    : Attack(std::move(config)),
+      binary_search_steps_(
+          static_cast<std::int64_t>(config_.param("binary_search_steps", 4.0f))),
+      initial_c_(config_.param("initial_c", 1.0f)),
+      learning_rate_(config_.param("learning_rate", 0.05f)),
+      confidence_(config_.param("confidence", 0.0f)),
+      project_linf_(config_.param("project_linf", 0.0f) != 0.0f) {
+  if (binary_search_steps_ <= 0) {
+    throw std::invalid_argument("CarliniWagner: non-positive binary_search_steps");
   }
-  if (initial_c <= 0.0f || learning_rate <= 0.0f) {
-    throw std::invalid_argument("CwConfig: non-positive c / learning rate");
+  if (initial_c_ <= 0.0f || learning_rate_ <= 0.0f) {
+    throw std::invalid_argument("CarliniWagner: non-positive c / learning rate");
   }
-  if (confidence < 0.0f) throw std::invalid_argument("CwConfig: negative confidence");
-  if (clip_min >= clip_max) throw std::invalid_argument("CwConfig: clip_min >= clip_max");
+  if (confidence_ < 0.0f) {
+    throw std::invalid_argument("CarliniWagner: negative confidence");
+  }
 }
-
-CarliniWagner::CarliniWagner(CwConfig config) : config_(config) { config_.validate(); }
 
 namespace {
 
@@ -37,7 +43,8 @@ inline float safe_atanh(float v) {
 }  // namespace
 
 Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
-                              const std::vector<std::int64_t>& labels) {
+                              const std::vector<std::int64_t>& labels,
+                              Rng& /*rng*/) {
   TAAMR_TRACE_SPAN("attack/cw");
   if (images.ndim() != 4) {
     throw std::invalid_argument("CarliniWagner: expected [N, C, H, W] images");
@@ -64,7 +71,7 @@ Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
   };
 
   // Per-image binary-search state.
-  std::vector<float> c(static_cast<std::size_t>(n), config_.initial_c);
+  std::vector<float> c(static_cast<std::size_t>(n), initial_c_);
   std::vector<float> c_low(static_cast<std::size_t>(n), 0.0f);
   std::vector<float> c_high(static_cast<std::size_t>(n),
                             std::numeric_limits<float>::infinity());
@@ -80,7 +87,7 @@ Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
   auto& margin_hist = obs::MetricsRegistry::global().histogram(
       "attack_cw_margin", {}, obs::exponential_bounds(1e-3, 2.0, 20));
 
-  for (std::int64_t step = 0; step < config_.binary_search_steps; ++step) {
+  for (std::int64_t step = 0; step < binary_search_steps_; ++step) {
     TAAMR_TRACE_SPAN("attack/cw/search_step");
     Tensor w = w0;
     std::vector<bool> succeeded(static_cast<std::size_t>(n), false);
@@ -109,7 +116,7 @@ Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
         margins[static_cast<std::size_t>(i)] = margin;
         if (it == config_.iterations - 1) last_margin_sum += margin;
         // d f / d logits, only while the margin constraint is active.
-        if (margin > -config_.confidence) {
+        if (margin > -confidence_) {
           cot.at(i, runner_up) = c[static_cast<std::size_t>(i)];
           cot.at(i, t) = -c[static_cast<std::size_t>(i)];
         }
@@ -123,12 +130,12 @@ Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
       }
       for (std::int64_t i = 0; i < images.numel(); ++i) {
         const float th = std::tanh(w[i]);
-        w[i] -= config_.learning_rate * grad_x[i] * (1.0f - th * th) * 0.5f * range;
+        w[i] -= learning_rate_ * grad_x[i] * (1.0f - th * th) * 0.5f * range;
       }
 
       // Record any new best successful example.
       for (std::int64_t i = 0; i < n; ++i) {
-        if (margins[static_cast<std::size_t>(i)] >= -config_.confidence) continue;
+        if (margins[static_cast<std::size_t>(i)] >= -confidence_) continue;
         succeeded[static_cast<std::size_t>(i)] = true;
         float l2 = 0.0f;
         for (std::int64_t p = 0; p < per_image; ++p) {
@@ -178,6 +185,9 @@ Tensor CarliniWagner::perturb(nn::Classifier& classifier, const Tensor& images,
     }
   }
   last_mean_l2_ = last_successes_ > 0 ? l2_sum / static_cast<double>(last_successes_) : 0.0;
+  // Under the registry contract the result must sit inside the epsilon
+  // l_inf ball; the paper's unconstrained-L2 variant skips this.
+  if (project_linf_) project(best, images);
   return best;
 }
 

@@ -1,26 +1,20 @@
 #include "attack/feature_match.hpp"
 
-#include <algorithm>
+#include <stdexcept>
 
 #include "tensor/ops.hpp"
 
 namespace taamr::attack {
 
-FeatureMatch::FeatureMatch(AttackConfig config) : config_(config) {
-  config_.validate();
-}
-
-void FeatureMatch::project(Tensor& candidate, const Tensor& original) const {
-  check_same_shape(candidate, original, "FeatureMatch::project");
-  const float eps = config_.epsilon;
-  const std::int64_t n = candidate.numel();
-  float* c = candidate.data();
-  const float* o = original.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float lo = std::max(o[i] - eps, config_.clip_min);
-    const float hi = std::min(o[i] + eps, config_.clip_max);
-    c[i] = std::clamp(c[i], lo, hi);
+Tensor FeatureMatch::perturb(nn::Classifier& classifier, const Tensor& images,
+                             const std::vector<std::int64_t>& /*labels*/,
+                             Rng& rng) {
+  if (!config_.payload) {
+    throw std::invalid_argument(
+        "FeatureMatch: AttackConfig::payload must hold the [N, D] target "
+        "features");
   }
+  return perturb(classifier, images, *config_.payload, rng);
 }
 
 Tensor FeatureMatch::perturb(nn::Classifier& classifier, const Tensor& images,

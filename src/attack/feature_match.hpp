@@ -10,23 +10,21 @@
 
 namespace taamr::attack {
 
-class FeatureMatch {
+class FeatureMatch : public Attack {
  public:
-  explicit FeatureMatch(AttackConfig config);
+  explicit FeatureMatch(AttackConfig config) : Attack(std::move(config)) {}
 
-  // images: [N, C, H, W]; target_features: [N, D] (layer-e vectors to
-  // imitate, one per image). Returns adversarial images inside the l_inf
-  // ball of config.epsilon.
+  // Common interface: the [N, D] target feature vectors travel in
+  // AttackConfig::payload (labels are ignored — this attack has no class
+  // target). Throws when the payload is missing or mis-shaped.
+  Tensor perturb(nn::Classifier& classifier, const Tensor& images,
+                 const std::vector<std::int64_t>& labels, Rng& rng) override;
+
+  // Typed convenience overload: pass the target features directly.
   Tensor perturb(nn::Classifier& classifier, const Tensor& images,
                  const Tensor& target_features, Rng& rng);
 
-  std::string name() const { return "FeatureMatch"; }
-  const AttackConfig& config() const { return config_; }
-
- private:
-  void project(Tensor& candidate, const Tensor& original) const;
-
-  AttackConfig config_;
+  std::string name() const override { return "FeatureMatch"; }
 };
 
 }  // namespace taamr::attack

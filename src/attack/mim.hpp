@@ -9,9 +9,10 @@ namespace taamr::attack {
 
 class Mim : public Attack {
  public:
-  // decay_factor is mu in the MIM paper (1.0 is the recommended setting).
-  explicit Mim(AttackConfig config, float decay_factor = 1.0f)
-      : Attack(config), decay_(decay_factor) {}
+  // The decay factor mu of the MIM paper comes from params["decay"]
+  // (default 1.0, the recommended setting).
+  explicit Mim(AttackConfig config)
+      : Attack(std::move(config)), decay_(config_.param("decay", 1.0f)) {}
 
   Tensor perturb(nn::Classifier& classifier, const Tensor& images,
                  const std::vector<std::int64_t>& labels, Rng& rng) override;

@@ -31,11 +31,11 @@ struct AttackProducts {
 struct AttackKey {
   std::int32_t source;
   std::int32_t target;
-  int kind;
+  std::string attack;
   float eps;
   bool operator<(const AttackKey& o) const {
-    return std::tie(source, target, kind, eps) <
-           std::tie(o.source, o.target, o.kind, o.eps);
+    return std::tie(source, target, attack, eps) <
+           std::tie(o.source, o.target, o.attack, o.eps);
   }
 };
 
@@ -159,17 +159,17 @@ DatasetResults run_dataset_experiment(const ExperimentConfig& config) {
   // Attacked images are model-independent: compute each (source, target,
   // attack, eps) once and evaluate both recommenders against it.
   std::map<AttackKey, AttackProducts> attack_cache;
-  auto get_products = [&](const AttackScenario& s, attack::AttackKind kind,
+  auto get_products = [&](const AttackScenario& s, const std::string& attack_key,
                           float eps) -> AttackProducts& {
-    const AttackKey key{s.source_category, s.target_category, static_cast<int>(kind), eps};
+    const AttackKey key{s.source_category, s.target_category, attack_key, eps};
     auto it = attack_cache.find(key);
     if (it != attack_cache.end()) return it->second;
     AttackProducts products;
     products.batch = pipeline.attack_category(s.source_category, s.target_category,
-                                              kind, eps);
+                                              attack_key, eps);
     products.success = metrics::attack_success(
         pipeline.classifier(), products.batch.attacked_images, s.target_category,
-        attack::attack_kind_name(kind));
+        attack::display_name(attack_key));
     products.visual = metrics::average_visual_quality(
         pipeline.classifier(), products.batch.clean_images,
         products.batch.attacked_images);
@@ -190,9 +190,9 @@ DatasetResults run_dataset_experiment(const ExperimentConfig& config) {
   for (const auto& [model_name, entry] : models) {
     const auto scenarios = paper_scenarios(dataset.name, model_name);
     for (const AttackScenario& scenario : scenarios) {
-      for (attack::AttackKind kind : config.attacks) {
+      for (const std::string& attack_key : config.attacks) {
         for (float eps : config.eps_grid_255) {
-          AttackProducts& products = get_products(scenario, kind, eps);
+          AttackProducts& products = get_products(scenario, attack_key, eps);
 
           entry.model->set_item_features(products.merged_features);
           const auto lists = recsys::top_n_lists(*entry.model, dataset, top_n);
@@ -200,7 +200,7 @@ DatasetResults run_dataset_experiment(const ExperimentConfig& config) {
 
           CellResult cell;
           cell.model = model_name;
-          cell.attack = attack_kind_name(kind);
+          cell.attack = attack::display_name(attack_key);
           cell.source_category = scenario.source_category;
           cell.target_category = scenario.target_category;
           cell.semantically_similar = scenario.semantically_similar;
@@ -229,7 +229,7 @@ DatasetResults run_dataset_experiment(const ExperimentConfig& config) {
   // Fig. 2: PGD eps=8 against VBPR on the similar scenario (as in the paper).
   const auto vbpr_scenarios = paper_scenarios(dataset.name, "VBPR");
   AttackProducts& fig2_products =
-      get_products(vbpr_scenarios.front(), attack::AttackKind::kPgd, 8.0f);
+      get_products(vbpr_scenarios.front(), "pgd", 8.0f);
   results.fig2 =
       make_fig2_example(pipeline, *vbpr, vbpr_scenarios.front(), fig2_products, top_n);
 

@@ -20,8 +20,8 @@ namespace taamr::core {
 struct ExperimentConfig {
   PipelineConfig pipeline;
   std::vector<float> eps_grid_255 = {2.0f, 4.0f, 8.0f, 16.0f};
-  std::vector<attack::AttackKind> attacks = {attack::AttackKind::kFgsm,
-                                             attack::AttackKind::kPgd};
+  // Registry keys (see attack::registered()).
+  std::vector<std::string> attacks = {"fgsm", "pgd"};
 };
 
 // One (model, attack, scenario, eps) grid cell.

@@ -199,7 +199,7 @@ std::unique_ptr<recsys::Amr> Pipeline::train_amr() {
 
 Pipeline::AttackedBatch Pipeline::attack_category(std::int32_t source_category,
                                                   std::int32_t target_category,
-                                                  attack::AttackKind kind,
+                                                  const std::string& attack_key,
                                                   float epsilon_255) {
   if (!prepared_) throw std::logic_error("Pipeline: call prepare() first");
   if (target_category < 0 || target_category >= data::num_categories()) {
@@ -216,13 +216,25 @@ Pipeline::AttackedBatch Pipeline::attack_category(std::int32_t source_category,
   attack::AttackConfig cfg;
   cfg.epsilon = attack::epsilon_from_255(epsilon_255);
   cfg.targeted = true;
-  auto attacker = attack::make_attack(kind, cfg);
+  auto attacker = attack::make(attack_key, cfg);
   const std::vector<std::int64_t> targets(batch.items.size(),
                                           static_cast<std::int64_t>(target_category));
   Stopwatch timer;
+  // Seed derivation preserves the pre-registry values for fgsm (0) and pgd
+  // (0x10000) so cached experiment artifacts stay comparable; other attacks
+  // hash their key into the same slot.
+  std::uint64_t attack_salt = 0;
+  if (attack_key == "pgd") {
+    attack_salt = 0x10000u;
+  } else if (attack_key != "fgsm") {
+    for (const char ch : attack_key) {
+      attack_salt = attack_salt * 131 + static_cast<unsigned char>(ch);
+    }
+    attack_salt = (attack_salt << 17) | 0x10000u;
+  }
   Rng rng = rng_.fork(0x777 ^ static_cast<std::uint64_t>(target_category) ^
                       (static_cast<std::uint64_t>(epsilon_255 * 16.0f) << 8) ^
-                      (kind == attack::AttackKind::kPgd ? 0x10000u : 0u));
+                      attack_salt);
   batch.attacked_images = attacker->perturb(*classifier_, batch.clean_images, targets, rng);
   log_info() << attacker->name() << " eps=" << epsilon_255 << "/255 on "
              << batch.items.size() << " '" << data::category_name(source_category)

@@ -84,9 +84,11 @@ class Pipeline {
     Tensor clean_images;              // [n, 3, S, S]
     Tensor attacked_images;           // same shape
   };
+  // `attack_key` names a registry entry ("fgsm", "pgd", ...).
   AttackedBatch attack_category(std::int32_t source_category,
                                 std::int32_t target_category,
-                                attack::AttackKind kind, float epsilon_255);
+                                const std::string& attack_key,
+                                float epsilon_255);
 
   // Clean features with the rows of `items` replaced by features extracted
   // from `attacked_images` — what the MR sees after the attack.

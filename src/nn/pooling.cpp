@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/simd/dispatch.hpp"
+
 namespace taamr::nn {
 
 Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
@@ -71,12 +73,13 @@ Tensor GlobalAvgPool2d::forward(const Tensor& x, bool /*train*/) {
   cached_in_shape_ = x.shape();
   Tensor y({n, c});
   const float inv = 1.0f / static_cast<float>(plane);
+  const auto& kern = simd::active();
   for (std::int64_t s = 0; s < n; ++s) {
     for (std::int64_t ch = 0; ch < c; ++ch) {
       const float* p = x.data() + (s * c + ch) * plane;
-      float acc = 0.0f;
-      for (std::int64_t i = 0; i < plane; ++i) acc += p[i];
-      y.at(s, ch) = acc * inv;
+      // Lane-striped float sum (see tensor/simd/dispatch.hpp), so scalar and
+      // AVX2 dispatch produce bitwise-identical features.
+      y.at(s, ch) = kern.sum_f32(p, plane) * inv;
     }
   }
   return y;

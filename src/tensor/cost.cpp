@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "tensor/simd/dispatch.hpp"
 
 namespace taamr::cost {
 
@@ -49,7 +50,12 @@ KernelCounters& counters() {
     auto* fresh = new KernelCounters;
     auto& reg = obs::MetricsRegistry::global();
     for (int k = 0; k < kKernels; ++k) {
-      const obs::Labels labels = {{"kernel", kernel_name(static_cast<Kernel>(k))}};
+      obs::Labels labels = {{"kernel", kernel_name(static_cast<Kernel>(k))}};
+      if (static_cast<Kernel>(k) == Kernel::kGemm) {
+        // The booked FLOPs are nominal and variant-independent; the label
+        // records which kernel variant actually ran them this process.
+        labels.emplace_back("simd_variant", simd::active_variant_name());
+      }
       fresh->flops[k] = &reg.counter("tensor_kernel_flops_total", labels);
       fresh->bytes[k] = &reg.counter("tensor_kernel_bytes_total", labels);
     }

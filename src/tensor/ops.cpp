@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "tensor/cost.hpp"
+#include "tensor/simd/dispatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace taamr::ops {
@@ -43,10 +44,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
   book_elementwise(a.numel(), 1.0, 12.0);
   Tensor out = a;
-  float* o = out.data();
-  const float* p = b.data();
-  const std::int64_t n = out.numel();
-  for (std::int64_t i = 0; i < n; ++i) o[i] *= p[i];
+  simd::active().mul(out.data(), b.data(), out.numel());
   return out;
 }
 
@@ -59,40 +57,31 @@ Tensor scale(const Tensor& a, float s) {
 Tensor add_scalar(const Tensor& a, float s) {
   book_elementwise(a.numel(), 1.0, 8.0);
   Tensor out = a;
-  for (float& v : out.storage()) v += s;
+  simd::active().add_scalar(out.data(), s, out.numel());
   return out;
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
   book_elementwise(a.numel(), 1.0, 12.0);
-  float* o = a.data();
-  const float* p = b.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) o[i] += p[i];
+  simd::active().add(a.data(), b.data(), a.numel());
 }
 
 void sub_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub_inplace");
   book_elementwise(a.numel(), 1.0, 12.0);
-  float* o = a.data();
-  const float* p = b.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) o[i] -= p[i];
+  simd::active().sub(a.data(), b.data(), a.numel());
 }
 
 void scale_inplace(Tensor& a, float s) {
   book_elementwise(a.numel(), 1.0, 8.0);
-  for (float& v : a.storage()) v *= s;
+  simd::active().scale(a.data(), s, a.numel());
 }
 
 void axpy_inplace(Tensor& a, float s, const Tensor& b) {
   check_same_shape(a, b, "axpy_inplace");
   book_elementwise(a.numel(), 2.0, 12.0);
-  float* o = a.data();
-  const float* p = b.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) o[i] += s * p[i];
+  simd::active().axpy(a.data(), s, b.data(), a.numel());
 }
 
 Tensor apply(const Tensor& a, const std::function<float(float)>& f) {
@@ -115,13 +104,13 @@ Tensor clamp(const Tensor& a, float lo, float hi) {
 void clamp_inplace(Tensor& a, float lo, float hi) {
   if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
   book_elementwise(a.numel(), 2.0, 8.0);
-  for (float& v : a.storage()) v = std::clamp(v, lo, hi);
+  simd::active().clamp(a.data(), lo, hi, a.numel());
 }
 
 Tensor sign(const Tensor& a) {
   book_elementwise(a.numel(), 2.0, 8.0);
   Tensor out = a;
-  for (float& v : out.storage()) v = (v > 0.0f) - (v < 0.0f);
+  simd::active().sign(out.data(), out.numel());
   return out;
 }
 
@@ -134,36 +123,14 @@ void require_matrix(const Tensor& t, const char* name) {
   }
 }
 
-// Cache block for rows and the k dimension; the row-panel width handed to
-// each parallel task equals one i-block, so a panel's per-row loop order is
-// exactly the serial kernel's (bitwise-identical outputs at any pool size).
+// Row-panel width handed to each parallel task; matches the scalar panel
+// kernel's internal i-block so a panel's per-row loop order is exactly the
+// serial kernel's (bitwise-identical outputs at any pool size — the AVX2
+// panel kernel accumulates each row independently, so it holds there too).
 constexpr std::int64_t kGemmBlock = 64;
 // Below this nominal FLOP count a launch stays serial: chunk bookkeeping
 // and the enqueue round-trip would outweigh the multiply-adds.
 constexpr double kGemmParallelMinFlops = 1.5e6;
-
-// Serial panel kernel: C[i_begin:i_end, :] += A[i_begin:i_end, :] * B,
-// i-k-j loop order so the innermost loop streams both B and C rows.
-void gemm_nn_panel(float* c, const float* a, const float* b,
-                   std::int64_t i_begin, std::int64_t i_end, std::int64_t k,
-                   std::int64_t n) {
-  for (std::int64_t i0 = i_begin; i0 < i_end; i0 += kGemmBlock) {
-    const std::int64_t i1 = std::min(i_end, i0 + kGemmBlock);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kGemmBlock) {
-      const std::int64_t p1 = std::min(k, p0 + kGemmBlock);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* crow = c + i * n;
-        const float* arow = a + i * k;
-        for (std::int64_t p = p0; p < p1; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          const float* brow = b + p * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
-}
 
 Tensor transposed(const Tensor& t) {
   const std::int64_t r = t.dim(0), c = t.dim(1);
@@ -178,17 +145,18 @@ Tensor transposed(const Tensor& t) {
 
 void gemm_nn_blocked(float* c, const float* a, const float* b, std::int64_t m,
                      std::int64_t k, std::int64_t n, ThreadPool* pool) {
+  const auto& kern = simd::active();
   const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
                        static_cast<double>(n);
   const std::int64_t num_panels = (m + kGemmBlock - 1) / kGemmBlock;
   if (pool == nullptr || pool->size() <= 1 || num_panels <= 1 ||
       flops < kGemmParallelMinFlops) {
-    gemm_nn_panel(c, a, b, 0, m, k, n);
+    kern.gemm_panel(c, a, b, 0, m, k, n);
     return;
   }
   pool->parallel_for(0, static_cast<std::size_t>(num_panels), [&](std::size_t p) {
     const std::int64_t i0 = static_cast<std::int64_t>(p) * kGemmBlock;
-    gemm_nn_panel(c, a, b, i0, std::min(m, i0 + kGemmBlock), k, n);
+    kern.gemm_panel(c, a, b, i0, std::min(m, i0 + kGemmBlock), k, n);
   });
 }
 
@@ -255,9 +223,9 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
 
 float sum(const Tensor& a) {
   book_reduction(a.numel(), 1.0, 4.0);
-  double acc = 0.0;  // accumulate in double: these sums feed loss reporting
-  for (float v : a.flat()) acc += v;
-  return static_cast<float>(acc);
+  // Accumulates in double (these sums feed loss reporting) under the fixed
+  // lane spec of tensor/simd/dispatch.hpp, so every variant agrees bitwise.
+  return static_cast<float>(simd::active().sum(a.data(), a.numel()));
 }
 
 float mean(const Tensor& a) {
@@ -267,36 +235,25 @@ float mean(const Tensor& a) {
 
 float max_abs(const Tensor& a) {
   book_reduction(a.numel(), 2.0, 4.0);
-  float m = 0.0f;
-  for (float v : a.flat()) m = std::max(m, std::fabs(v));
-  return m;
+  return simd::active().max_abs(a.data(), a.numel());
 }
 
 float min(const Tensor& a) {
   if (a.numel() == 0) throw std::invalid_argument("min: empty tensor");
   book_reduction(a.numel(), 1.0, 4.0);
-  float m = std::numeric_limits<float>::infinity();
-  for (float v : a.flat()) m = std::min(m, v);
-  return m;
+  return simd::active().min(a.data(), a.numel());
 }
 
 float max(const Tensor& a) {
   if (a.numel() == 0) throw std::invalid_argument("max: empty tensor");
   book_reduction(a.numel(), 1.0, 4.0);
-  float m = -std::numeric_limits<float>::infinity();
-  for (float v : a.flat()) m = std::max(m, v);
-  return m;
+  return simd::active().max(a.data(), a.numel());
 }
 
 float dot(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "dot");
   book_reduction(a.numel(), 2.0, 8.0);
-  double acc = 0.0;
-  const float* p = a.data();
-  const float* q = b.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(p[i]) * q[i];
-  return static_cast<float>(acc);
+  return static_cast<float>(simd::active().dot(a.data(), b.data(), a.numel()));
 }
 
 float l2_norm(const Tensor& a) { return std::sqrt(std::max(0.0f, dot(a, a))); }
@@ -304,26 +261,14 @@ float l2_norm(const Tensor& a) { return std::sqrt(std::max(0.0f, dot(a, a))); }
 float squared_distance(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "squared_distance");
   book_reduction(a.numel(), 3.0, 8.0);
-  double acc = 0.0;
-  const float* p = a.data();
-  const float* q = b.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(p[i]) - q[i];
-    acc += d * d;
-  }
-  return static_cast<float>(acc);
+  return static_cast<float>(
+      simd::active().squared_distance(a.data(), b.data(), a.numel()));
 }
 
 float linf_distance(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "linf_distance");
   book_reduction(a.numel(), 3.0, 8.0);
-  float m = 0.0f;
-  const float* p = a.data();
-  const float* q = b.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(p[i] - q[i]));
-  return m;
+  return simd::active().max_abs_diff(a.data(), b.data(), a.numel());
 }
 
 std::int64_t argmax(const Tensor& a) {
@@ -360,18 +305,18 @@ Tensor softmax_rows(const Tensor& logits) {
   if (logits.ndim() != 2) throw std::invalid_argument("softmax_rows: expected matrix");
   book_reduction(logits.numel(), 4.0, 8.0);
   const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  const auto& kern = simd::active();
   Tensor out = logits;
   for (std::int64_t i = 0; i < rows; ++i) {
     float* row = out.data() + i * cols;
-    float mx = row[0];
-    for (std::int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    const float mx = kern.max(row, cols);
     double denom = 0.0;
     for (std::int64_t j = 0; j < cols; ++j) {
       row[j] = std::exp(row[j] - mx);
       denom += row[j];
     }
     const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv;
+    kern.scale(row, inv, cols);
   }
   return out;
 }

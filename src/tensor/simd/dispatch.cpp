@@ -1,0 +1,80 @@
+#include "tensor/simd/dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace taamr::simd {
+
+bool avx2_compiled() { return detail::avx2_kernels() != nullptr; }
+
+namespace {
+
+bool cpu_has_avx2_fma() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool avx2_supported() {
+  static const bool ok = avx2_compiled() && cpu_has_avx2_fma();
+  return ok;
+}
+
+Variant resolve_variant(const char* env_value, bool avx2_ok) {
+  if (env_value != nullptr && *env_value != '\0') {
+    if (std::strcmp(env_value, "off") == 0 ||
+        std::strcmp(env_value, "scalar") == 0) {
+      return Variant::kScalar;
+    }
+    if (std::strcmp(env_value, "avx2") == 0) {
+      // An explicit request still cannot out-run the hardware/build.
+      return avx2_ok ? Variant::kAvx2 : Variant::kScalar;
+    }
+    if (std::strcmp(env_value, "auto") != 0) {
+      log_warn() << "TAAMR_SIMD=" << env_value
+                 << " not recognized (off|avx2|auto); probing cpuid";
+    }
+  }
+  return avx2_ok ? Variant::kAvx2 : Variant::kScalar;
+}
+
+const Kernels* kernels_for(Variant v) {
+  switch (v) {
+    case Variant::kScalar:
+      return detail::scalar_kernels();
+    case Variant::kAvx2:
+      return avx2_supported() ? detail::avx2_kernels() : nullptr;
+  }
+  return nullptr;
+}
+
+Variant active_variant() {
+  static const Variant v =
+      resolve_variant(std::getenv("TAAMR_SIMD"), avx2_supported());
+  return v;
+}
+
+const Kernels& active() {
+  static const Kernels* k = kernels_for(active_variant());
+  return *k;
+}
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kScalar:
+      return "scalar";
+    case Variant::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const char* active_variant_name() { return variant_name(active_variant()); }
+
+}  // namespace taamr::simd

@@ -1,0 +1,92 @@
+// Runtime-dispatched SIMD kernel layer. Two kernel tables are compiled into
+// the library — a portable scalar table (always) and an AVX2+FMA table (when
+// the toolchain supports -mavx2; see src/CMakeLists.txt) — and one of them is
+// selected once per process:
+//
+//   TAAMR_SIMD=off|scalar   force the scalar fallback
+//   TAAMR_SIMD=avx2         request AVX2 (falls back to scalar when the CPU
+//                           or the build lacks it)
+//   TAAMR_SIMD=auto / unset probe cpuid and take AVX2 when available
+//
+// Tolerance contract (pinned by tests/test_simd_parity.cpp):
+//  - elementwise kernels (add/sub/mul/scale/axpy/clamp/sign/project_linf)
+//    are bitwise-identical across variants: the AVX2 versions use separate
+//    multiply and add (no fused contraction) so every lane performs exactly
+//    the scalar arithmetic. NaN propagation through clamp is unspecified.
+//  - reductions follow a fixed lane-striped accumulation spec implemented
+//    identically by both variants (doubles: 4 lanes, element i -> lane i%4,
+//    combined as (l0+l1)+(l2+l3); floats: 8 lanes, element i -> lane i%8,
+//    folded pairwise 8->4->2->1), so scalar and AVX2 agree bitwise.
+//  - GEMM reassociates freely (the AVX2 microkernel uses FMA), so variants
+//    agree only within an epsilon; within one variant the output is still
+//    bitwise-identical for any row partitioning (each row's k-order is
+//    fixed), preserving the serial-vs-pooled identity guarantee.
+#pragma once
+
+#include <cstdint>
+
+namespace taamr::simd {
+
+enum class Variant : int { kScalar = 0, kAvx2 = 1 };
+
+// Raw-pointer kernel table. n is always the element count; buffers must not
+// alias unless the signature reads and writes the same pointer.
+struct Kernels {
+  // C[i_begin:i_end, :] += A[i_begin:i_end, :] * B, all row-major; A is
+  // [m, k], B is [k, n]. Rows accumulate independently, so any partition of
+  // [0, m) into panels produces bitwise-identical C.
+  void (*gemm_panel)(float* c, const float* a, const float* b,
+                     std::int64_t i_begin, std::int64_t i_end, std::int64_t k,
+                     std::int64_t n);
+
+  // Elementwise, in place on `a`.
+  void (*add)(float* a, const float* b, std::int64_t n);         // a += b
+  void (*sub)(float* a, const float* b, std::int64_t n);         // a -= b
+  void (*mul)(float* a, const float* b, std::int64_t n);         // a *= b
+  void (*scale)(float* a, float s, std::int64_t n);              // a *= s
+  void (*add_scalar)(float* a, float s, std::int64_t n);         // a += s
+  void (*axpy)(float* a, float s, const float* b, std::int64_t n);  // a += s*b
+  void (*clamp)(float* a, float lo, float hi, std::int64_t n);
+  void (*sign)(float* a, std::int64_t n);                        // {-1, 0, +1}
+  // The attack projection: c = clamp(c, max(o - eps, lo), min(o + eps, hi)).
+  void (*project_linf)(float* c, const float* o, float eps, float lo, float hi,
+                       std::int64_t n);
+
+  // Reductions. sum/dot/squared_distance accumulate in double per the lane
+  // spec above; sum_f32 keeps float lanes (the GAP pooling path).
+  double (*sum)(const float* a, std::int64_t n);
+  float (*sum_f32)(const float* a, std::int64_t n);
+  double (*dot)(const float* a, const float* b, std::int64_t n);
+  double (*squared_distance)(const float* a, const float* b, std::int64_t n);
+  float (*max)(const float* a, std::int64_t n);      // requires n >= 1
+  float (*min)(const float* a, std::int64_t n);      // requires n >= 1
+  float (*max_abs)(const float* a, std::int64_t n);  // 0 when n == 0
+  float (*max_abs_diff)(const float* a, const float* b, std::int64_t n);
+};
+
+// True when the AVX2 table was compiled into this binary.
+bool avx2_compiled();
+// True when it was compiled AND the CPU reports AVX2+FMA.
+bool avx2_supported();
+
+// Pure resolution of the TAAMR_SIMD override (nullptr = unset) against
+// hardware availability; exposed so tests can pin the dispatch rules.
+Variant resolve_variant(const char* env_value, bool avx2_ok);
+
+// The table for a specific variant, or nullptr when it is unavailable in
+// this build. The scalar table always exists.
+const Kernels* kernels_for(Variant v);
+
+// The process-wide table, latched on first use from TAAMR_SIMD + cpuid.
+const Kernels& active();
+Variant active_variant();
+
+const char* variant_name(Variant v);
+const char* active_variant_name();
+
+namespace detail {
+const Kernels* scalar_kernels();  // kernels_scalar.cpp
+const Kernels* avx2_kernels();    // kernels_avx2.cpp; nullptr if not compiled
+}  // namespace detail
+
+}  // namespace taamr::simd

@@ -79,25 +79,25 @@ TEST(AttackConfig, EpsilonFrom255) {
   EXPECT_NEAR(attack::epsilon_from_255(8.0f), 8.0f / 255.0f, 1e-9f);
 }
 
-TEST(AttackFactory, CreatesBothKinds) {
+TEST(AttackFactory, CreatesRegisteredAttacks) {
   attack::AttackConfig cfg;
-  EXPECT_EQ(attack::make_attack(attack::AttackKind::kFgsm, cfg)->name(), "FGSM");
-  EXPECT_EQ(attack::make_attack(attack::AttackKind::kPgd, cfg)->name(), "PGD");
-  EXPECT_EQ(attack::attack_kind_name(attack::AttackKind::kFgsm), "FGSM");
-  EXPECT_EQ(attack::attack_kind_name(attack::AttackKind::kPgd), "PGD");
+  EXPECT_EQ(attack::make("fgsm", cfg)->name(), "FGSM");
+  EXPECT_EQ(attack::make("pgd", cfg)->name(), "PGD");
+  EXPECT_EQ(attack::display_name("fgsm"), "FGSM");
+  EXPECT_EQ(attack::display_name("pgd"), "PGD");
 }
 
 class AttackInvariants
-    : public ::testing::TestWithParam<std::tuple<attack::AttackKind, float>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, float>> {};
 
 TEST_P(AttackInvariants, LinfBoundAndPixelRangeHold) {
-  const auto [kind, eps255] = GetParam();
+  const auto [key, eps255] = GetParam();
   nn::Classifier& c = trained_classifier();
   Rng rng(132);
   const Tensor clean = class_images(0, 4, rng);
   attack::AttackConfig cfg;
   cfg.epsilon = attack::epsilon_from_255(eps255);
-  auto attacker = attack::make_attack(kind, cfg);
+  auto attacker = attack::make(key, cfg);
   const std::vector<std::int64_t> targets(4, 2);
   Rng arng(133);
   const Tensor adv = attacker->perturb(c, clean, targets, arng);
@@ -109,8 +109,8 @@ TEST_P(AttackInvariants, LinfBoundAndPixelRangeHold) {
 
 INSTANTIATE_TEST_SUITE_P(
     KindsAndBudgets, AttackInvariants,
-    ::testing::Combine(::testing::Values(attack::AttackKind::kFgsm,
-                                         attack::AttackKind::kPgd),
+    ::testing::Combine(::testing::Values(std::string("fgsm"),
+                                         std::string("pgd")),
                        ::testing::Values(2.0f, 4.0f, 8.0f, 16.0f)));
 
 TEST(Fgsm, TargetedAttackLowersTargetLoss) {

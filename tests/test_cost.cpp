@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 #include "tensor/cost.hpp"
+#include "tensor/simd/dispatch.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
@@ -50,9 +51,14 @@ TEST(Cost, CountersLandInMetricsRegistry) {
   cost::enable();
   Tensor a({2, 2}, 1.0f), b({2, 2}, 1.0f);
   Tensor c = ops::matmul(a, b);
-  const double v = obs::MetricsRegistry::global()
-                       .counter("tensor_kernel_flops_total", {{"kernel", "gemm"}})
-                       .value();
+  // The gemm family carries a simd_variant label recording which kernel
+  // variant this process dispatched to.
+  const double v =
+      obs::MetricsRegistry::global()
+          .counter("tensor_kernel_flops_total",
+                   {{"kernel", "gemm"},
+                    {"simd_variant", simd::active_variant_name()}})
+          .value();
   EXPECT_GT(v, 0.0);
 }
 

@@ -53,21 +53,24 @@ nn::Classifier& trained_classifier() {
   return classifier;
 }
 
-TEST(CwConfig, Validation) {
-  attack::CwConfig cfg;
-  EXPECT_NO_THROW(cfg.validate());
+TEST(CarliniWagner, ConfigValidation) {
+  attack::AttackConfig cfg;
+  EXPECT_NO_THROW(attack::CarliniWagner{cfg});
   cfg.iterations = 0;
-  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_THROW(attack::CarliniWagner{cfg}, std::invalid_argument);
   cfg = {};
-  cfg.initial_c = 0.0f;
-  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.params["initial_c"] = 0.0f;
+  EXPECT_THROW(attack::CarliniWagner{cfg}, std::invalid_argument);
   cfg = {};
-  cfg.confidence = -1.0f;
-  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.params["confidence"] = -1.0f;
+  EXPECT_THROW(attack::CarliniWagner{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.params["binary_search_steps"] = 0.0f;
+  EXPECT_THROW(attack::CarliniWagner{cfg}, std::invalid_argument);
   cfg = {};
   cfg.clip_min = 1.0f;
   cfg.clip_max = 0.0f;
-  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_THROW(attack::CarliniWagner{cfg}, std::invalid_argument);
 }
 
 TEST(CarliniWagner, FindsAdversarialExamplesOnAdjacentClass) {
@@ -78,10 +81,11 @@ TEST(CarliniWagner, FindsAdversarialExamplesOnAdjacentClass) {
   make_task(images, labels, 6, rng);
   // Target every image at class 1 (reachable from both class 0 and 2).
   const std::vector<std::int64_t> targets(6, 1);
-  attack::CwConfig cfg;
+  attack::AttackConfig cfg;
   cfg.iterations = 60;
   attack::CarliniWagner cw(cfg);
-  const Tensor adv = cw.perturb(c, images, targets);
+  Rng arng(312);
+  const Tensor adv = cw.perturb(c, images, targets, arng);
   const auto stats = metrics::attack_success(c, adv, 1);
   EXPECT_GT(stats.success_rate, 0.6);
   EXPECT_GT(cw.last_successes(), 3);
@@ -94,8 +98,9 @@ TEST(CarliniWagner, RespectsPixelBox) {
   Tensor images;
   std::vector<std::int64_t> labels;
   make_task(images, labels, 4, rng);
-  attack::CarliniWagner cw({});
-  const Tensor adv = cw.perturb(c, images, {1, 1, 1, 1});
+  attack::CarliniWagner cw{attack::AttackConfig{}};
+  Rng arng(313);
+  const Tensor adv = cw.perturb(c, images, {1, 1, 1, 1}, arng);
   EXPECT_GE(ops::min(adv), 0.0f);
   EXPECT_LE(ops::max(adv), 1.0f);
 }
@@ -110,10 +115,11 @@ TEST(CarliniWagner, DistortionIsSmallerThanFgsmAtSameSuccess) {
   make_task(images, labels, 6, rng);
   const std::vector<std::int64_t> targets(6, 1);
 
-  attack::CwConfig cw_cfg;
+  attack::AttackConfig cw_cfg;
   cw_cfg.iterations = 80;
   attack::CarliniWagner cw(cw_cfg);
-  const Tensor adv_cw = cw.perturb(c, images, targets);
+  Rng cw_rng(314);
+  const Tensor adv_cw = cw.perturb(c, images, targets, cw_rng);
 
   attack::AttackConfig fgsm_cfg;
   fgsm_cfg.epsilon = attack::epsilon_from_255(48.0f);
@@ -130,10 +136,14 @@ TEST(CarliniWagner, DistortionIsSmallerThanFgsmAtSameSuccess) {
 
 TEST(CarliniWagner, ValidatesInput) {
   nn::Classifier& c = trained_classifier();
-  attack::CarliniWagner cw({});
-  EXPECT_THROW(cw.perturb(c, Tensor({2, 3, 8, 8}), {0}), std::invalid_argument);
-  EXPECT_THROW(cw.perturb(c, Tensor({1, 3, 8, 8}), {7}), std::invalid_argument);
-  EXPECT_THROW(cw.perturb(c, Tensor({3, 8, 8}), {0}), std::invalid_argument);
+  attack::CarliniWagner cw{attack::AttackConfig{}};
+  Rng arng(315);
+  EXPECT_THROW(cw.perturb(c, Tensor({2, 3, 8, 8}), {0}, arng),
+               std::invalid_argument);
+  EXPECT_THROW(cw.perturb(c, Tensor({1, 3, 8, 8}), {7}, arng),
+               std::invalid_argument);
+  EXPECT_THROW(cw.perturb(c, Tensor({3, 8, 8}), {0}, arng),
+               std::invalid_argument);
 }
 
 TEST(SoftTargetLoss, MatchesHardLossAtOneHot) {

@@ -77,7 +77,7 @@ TEST(PipelineIntegration, FeaturesSeparateCategories) {
 TEST(PipelineIntegration, AttackCategoryRespectsThreatModel) {
   core::Pipeline& p = shared_pipeline();
   const auto batch = p.attack_category(data::kSock, data::kRunningShoe,
-                                       attack::AttackKind::kPgd, 8.0f);
+                                       "pgd", 8.0f);
   EXPECT_FALSE(batch.items.empty());
   EXPECT_EQ(batch.clean_images.shape(), batch.attacked_images.shape());
   EXPECT_LE(ops::linf_distance(batch.attacked_images, batch.clean_images),
@@ -92,7 +92,7 @@ TEST(PipelineIntegration, AttackCategoryRespectsThreatModel) {
 TEST(PipelineIntegration, FeaturesWithAttackOnlyChangesAttackedRows) {
   core::Pipeline& p = shared_pipeline();
   const auto batch = p.attack_category(data::kSock, data::kRunningShoe,
-                                       attack::AttackKind::kFgsm, 8.0f);
+                                       "fgsm", 8.0f);
   const Tensor merged = p.features_with_attack(batch.items, batch.attacked_images);
   ASSERT_EQ(merged.shape(), p.clean_features().shape());
   const std::int64_t d = merged.dim(1);
@@ -121,7 +121,7 @@ TEST(PipelineIntegration, VbprAttackShiftsSourceCategoryChr) {
       metrics::category_hit_ratio(lists_before, ds, data::kSock, top_n);
 
   const auto batch = p.attack_category(data::kSock, data::kRunningShoe,
-                                       attack::AttackKind::kPgd, 16.0f);
+                                       "pgd", 16.0f);
   vbpr->set_item_features(p.features_with_attack(batch.items, batch.attacked_images));
   const auto lists_after = recsys::top_n_lists(*vbpr, ds, top_n);
   const double chr_after =
@@ -144,7 +144,7 @@ TEST(PipelineIntegration, StagesRequirePrepare) {
   core::Pipeline fresh(micro_config());
   EXPECT_THROW(fresh.dataset(), std::logic_error);
   EXPECT_THROW(fresh.train_vbpr(), std::logic_error);
-  EXPECT_THROW(fresh.attack_category(0, 1, attack::AttackKind::kFgsm, 8.0f),
+  EXPECT_THROW(fresh.attack_category(0, 1, "fgsm", 8.0f),
                std::logic_error);
 }
 

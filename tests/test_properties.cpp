@@ -143,24 +143,19 @@ TEST(RankingProperties, NdcgBoundsByHr) {
 
 // ---- attack-interface contracts -------------------------------------------------
 
-struct AttackCase {
-  const char* name;
-  bool targeted;
-};
-
 class AttackContract
-    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>> {};
 
 TEST_P(AttackContract, BoundRangeAndShapeHoldOnUntrainedNetwork) {
   // The l_inf bound, pixel range and shape contract must hold regardless of
   // the model's training state or the attack's direction.
-  const auto [kind_index, targeted] = GetParam();
+  const auto [key, targeted] = GetParam();
   nn::MiniResNetConfig cfg;
   cfg.image_size = 8;
   cfg.base_width = 4;
   cfg.blocks_per_stage = 1;
   cfg.num_classes = 4;
-  Rng rng(1000 + static_cast<std::uint64_t>(kind_index) * 2 + (targeted ? 1 : 0));
+  Rng rng(1000 + key.size() * 2 + (targeted ? 1 : 0));
   nn::Classifier c(cfg, rng);
   Tensor x({3, 3, 8, 8});
   testing::fill_uniform(x, rng, 0.0f, 1.0f);
@@ -169,19 +164,8 @@ TEST_P(AttackContract, BoundRangeAndShapeHoldOnUntrainedNetwork) {
   attack::AttackConfig acfg;
   acfg.epsilon = attack::epsilon_from_255(8.0f);
   acfg.targeted = targeted;
-  std::unique_ptr<attack::Attack> attacker;
-  switch (kind_index) {
-    case 0:
-      attacker = std::make_unique<attack::Fgsm>(acfg);
-      break;
-    case 1:
-      attacker = std::make_unique<attack::Pgd>(acfg);
-      break;
-    default:
-      attacker = std::make_unique<attack::Mim>(acfg);
-      break;
-  }
-  Rng arng(2000 + static_cast<std::uint64_t>(kind_index));
+  auto attacker = attack::make(key, acfg);
+  Rng arng(2000 + key.size());
   const Tensor adv = attacker->perturb(c, x, labels, arng);
   ASSERT_EQ(adv.shape(), x.shape());
   EXPECT_LE(ops::linf_distance(adv, x), acfg.epsilon + 1e-5f);
@@ -189,9 +173,12 @@ TEST_P(AttackContract, BoundRangeAndShapeHoldOnUntrainedNetwork) {
   EXPECT_LE(ops::max(adv), 1.0f);
 }
 
-INSTANTIATE_TEST_SUITE_P(Zoo, AttackContract,
-                         ::testing::Combine(::testing::Range(0, 3),
-                                            ::testing::Bool()));
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, AttackContract,
+    ::testing::Combine(::testing::Values(std::string("fgsm"),
+                                         std::string("pgd"),
+                                         std::string("mim")),
+                       ::testing::Bool()));
 
 // ---- BPR learning behaviour -----------------------------------------------------
 

@@ -7,7 +7,7 @@
 //       render one procedural product image to a viewable PPM
 //
 //   taamr attack  --dataset "Amazon Men" --source Sock --target "Running Shoe"
-//                 [--attack pgd|fgsm|mim] [--eps 8] [--scale 0.01]
+//                 [--attack pgd|fgsm|mim|cw|...] [--eps 8] [--scale 0.01]
 //                 [--model vbpr|amr] [--cache taamr_cache]
 //       run one TAaMR scenario end-to-end and print CHR / success / quality
 //
@@ -15,7 +15,6 @@
 //       write the before/after product images of the showcased item
 #include <iostream>
 
-#include "attack/mim.hpp"
 #include "core/pipeline.hpp"
 #include "core/scenario.hpp"
 #include "data/categories.hpp"
@@ -81,17 +80,6 @@ int cmd_render(const ArgParser& args) {
   return 0;
 }
 
-attack::AttackKind parse_attack(const std::string& name, bool* is_mim) {
-  *is_mim = false;
-  if (name == "fgsm") return attack::AttackKind::kFgsm;
-  if (name == "pgd") return attack::AttackKind::kPgd;
-  if (name == "mim") {
-    *is_mim = true;
-    return attack::AttackKind::kPgd;  // unused; MIM handled separately
-  }
-  throw std::invalid_argument("unknown --attack '" + name + "' (fgsm|pgd|mim)");
-}
-
 int cmd_attack(const ArgParser& args) {
   core::PipelineConfig cfg;
   cfg.dataset_name = args.get("dataset", "Amazon Men");
@@ -103,8 +91,7 @@ int cmd_attack(const ArgParser& args) {
       data::category_id_by_name(args.get("target", "Running Shoe"));
   const float eps = static_cast<float>(args.get_double("eps", 8.0));
   const std::string model_name = args.get("model", "vbpr");
-  bool is_mim = false;
-  const attack::AttackKind kind = parse_attack(args.get("attack", "pgd"), &is_mim);
+  const std::string attack_key = args.get("attack", "pgd");
 
   core::Pipeline pipeline(cfg);
   pipeline.prepare();
@@ -126,17 +113,9 @@ int cmd_attack(const ArgParser& args) {
   attack::AttackConfig acfg;
   acfg.epsilon = attack::epsilon_from_255(eps);
   Rng rng(cfg.seed ^ 0xc11);
-  Tensor adv;
-  std::string attack_name;
-  if (is_mim) {
-    attack::Mim mim(acfg);
-    adv = mim.perturb(pipeline.classifier(), clean, targets, rng);
-    attack_name = mim.name();
-  } else {
-    auto attacker = attack::make_attack(kind, acfg);
-    adv = attacker->perturb(pipeline.classifier(), clean, targets, rng);
-    attack_name = attacker->name();
-  }
+  auto attacker = attack::make(attack_key, acfg);  // throws with the known keys
+  const Tensor adv = attacker->perturb(pipeline.classifier(), clean, targets, rng);
+  const std::string attack_name = attacker->name();
 
   const auto success =
       metrics::attack_success(pipeline.classifier(), adv, target, attack_name);
@@ -173,7 +152,7 @@ int cmd_fig2(const ArgParser& args) {
   const auto scenarios = core::paper_scenarios(ds.name, "VBPR");
   const auto batch = pipeline.attack_category(
       scenarios.front().source_category, scenarios.front().target_category,
-      attack::AttackKind::kPgd, 8.0f);
+      "pgd", 8.0f);
   // The most confidently flipped item of the batch.
   const Tensor probs = pipeline.classifier().probabilities(batch.attacked_images);
   std::int64_t best = 0;
