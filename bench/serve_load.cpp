@@ -8,6 +8,17 @@
 // runs through taamr_report --baseline (see serve_load_gate in
 // bench/CMakeLists.txt).
 //
+// The load runs twice with an identical request schedule:
+//   phase A — telemetry off: tracing disabled, no request contexts;
+//   phase B — telemetry on: per-request RequestContext (stage attribution),
+//             tracing re-enabled if configured, audit trail if configured.
+// The cache is cleared between phases so both start cold. Phase B is the
+// measured run (its stats deltas feed the report); phase A contributes
+// serve_qps_telemetry_off, and the floored percentage difference lands in
+// serve_telemetry_overhead_pct — the serve_obs_gate asserts it stays
+// within 10%. The floor (1%) keeps the self-compare regression gate from
+// seeing huge *relative* drift between two tiny absolute overheads.
+//
 // Correctness is asserted inline, not just measured:
 //   * every response is canonically ordered (score desc, id asc), free of
 //     the user's training items, and consistent with its stamped epoch;
@@ -18,6 +29,7 @@
 // Extra knobs: TAAMR_SERVE_CLIENTS (default 4), TAAMR_SERVE_REQUESTS per
 // client (default 300), plus the TAAMR_SERVE_* service knobs read by
 // ServeConfig::from_env.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -28,6 +40,7 @@
 
 #include "bench_common.hpp"
 #include "core/pipeline.hpp"
+#include "obs/request_context.hpp"
 #include "recsys/bpr_mf.hpp"
 #include "recsys/ranker.hpp"
 #include "serve/recommend_service.hpp"
@@ -109,7 +122,9 @@ int main() {
   std::atomic<std::int64_t> done{0};
   std::atomic<bool> failed{false};
 
-  auto client_loop = [&](std::int64_t id) {
+  auto client_loop = [&](std::int64_t id, bool telemetry) {
+    // Same seed in both phases: identical request schedules, so the only
+    // difference the overhead comparison sees is the telemetry itself.
     Rng rng(config.seed * 1000 + static_cast<std::uint64_t>(id));
     for (std::int64_t r = 0; r < per_client && !failed.load(); ++r) {
       const double u01 = rng.uniform();
@@ -118,7 +133,15 @@ int main() {
       const std::string model = rng.uniform() < 0.2 ? "bpr_mf" : "vbpr";
       serve::Recommendation rec;
       try {
-        rec = service.recommend(model, std::min(user, dataset.num_users - 1), top_n);
+        if (telemetry) {
+          obs::RequestContext ctx;
+          rec = service.recommend(model, std::min(user, dataset.num_users - 1),
+                                  top_n, &ctx);
+          ctx.publish();
+        } else {
+          rec = service.recommend(model, std::min(user, dataset.num_users - 1),
+                                  top_n);
+        }
       } catch (const std::exception& e) {
         failed.store(true);
         std::cerr << "serve_load: request threw: " << e.what() << "\n";
@@ -192,41 +215,105 @@ int main() {
     }
   };
 
-  Stopwatch load_timer;
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(clients) + 1);
-  for (std::int64_t c = 0; c < clients; ++c) {
-    threads.emplace_back(client_loop, c);
-  }
-  threads.emplace_back(controller);
-  for (std::thread& t : threads) t.join();
-  const double load_seconds = load_timer.seconds();
-  if (failed.load()) fail("load loop aborted");
+  auto run_phase = [&](bool telemetry) {
+    done.store(0);
+    Stopwatch timer;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients) + 1);
+    for (std::int64_t c = 0; c < clients; ++c) {
+      threads.emplace_back(client_loop, c, telemetry);
+    }
+    threads.emplace_back(controller);
+    for (std::thread& t : threads) t.join();
+    const double seconds = timer.seconds();
+    if (failed.load()) fail("load loop aborted");
+    return seconds;
+  };
 
-  const serve::RecommendService::Stats stats = service.stats();
-  if (stats.feature_swaps != 3) fail("expected 3 hot swaps");
+  // Phase A — telemetry off. Tracing is suspended (and restored below);
+  // clients attach no request context.
+  const bool trace_was_enabled = obs::Trace::global().enabled();
+  const std::string trace_path = obs::Trace::global().path();
+  obs::Trace::global().disable();
+  const double off_seconds = run_phase(/*telemetry=*/false);
+  const serve::RecommendService::Stats stats_off = service.stats();
+  if (stats_off.feature_swaps != 3) fail("expected 3 hot swaps in phase A");
 
   auto& latency = obs::MetricsRegistry::global().histogram("serve_request_seconds");
-  const double qps = load_seconds > 0.0 ? static_cast<double>(total) / load_seconds : 0.0;
+  std::vector<std::uint64_t> buckets_off(latency.bounds().size() + 1);
+  for (std::size_t i = 0; i < buckets_off.size(); ++i) {
+    buckets_off[i] = latency.bucket_count(i);
+  }
+  const std::uint64_t count_off = latency.count();
 
-  reporter.add_examples(static_cast<double>(total));
+  // Phase B — telemetry on, from an equally cold cache.
+  service.clear_cache();
+  if (trace_was_enabled) obs::Trace::global().enable(trace_path);
+  const double load_seconds = run_phase(/*telemetry=*/true);
+  const serve::RecommendService::Stats stats = service.stats();
+  if (stats.feature_swaps != 6) fail("expected 3 hot swaps in phase B");
+
+  // Phase-B-only latency quantiles: bucket-count deltas against the
+  // phase-A snapshot, interpolated with the shared estimator.
+  std::vector<std::uint64_t> buckets_b(buckets_off.size());
+  for (std::size_t i = 0; i < buckets_b.size(); ++i) {
+    buckets_b[i] = latency.bucket_count(i) - buckets_off[i];
+  }
+  const std::uint64_t count_b = latency.count() - count_off;
+  auto phase_quantile = [&](double q) {
+    return obs::bucket_quantile(latency.bounds(), buckets_b, count_b,
+                                latency.min(), latency.max(), q);
+  };
+
+  const double qps = load_seconds > 0.0 ? static_cast<double>(total) / load_seconds : 0.0;
+  const double qps_off =
+      off_seconds > 0.0 ? static_cast<double>(total) / off_seconds : 0.0;
+  // Floored at 1%: below that the signal is run-to-run noise, and the
+  // self-compare gate would see enormous relative drift between two tiny
+  // absolute values.
+  const double overhead_pct =
+      qps_off > 0.0 ? std::max(1.0, (qps_off - qps) / qps_off * 100.0) : 1.0;
+
+  const double hit_rate_b =
+      (stats.cache_hits - stats_off.cache_hits) +
+                  (stats.cache_misses - stats_off.cache_misses) >
+              0
+          ? static_cast<double>(stats.cache_hits - stats_off.cache_hits) /
+                static_cast<double>((stats.cache_hits - stats_off.cache_hits) +
+                                    (stats.cache_misses - stats_off.cache_misses))
+          : 0.0;
+
+  reporter.add_examples(static_cast<double>(2 * total));
   reporter.add_metric("serve_qps", {}, qps);
-  reporter.add_metric("serve_latency_p50_ms", {}, latency.quantile(0.5) * 1e3);
-  reporter.add_metric("serve_latency_p90_ms", {}, latency.quantile(0.9) * 1e3);
-  reporter.add_metric("serve_latency_p99_ms", {}, latency.quantile(0.99) * 1e3);
-  reporter.add_metric("serve_cache_hit_rate", {}, stats.hit_rate());
+  reporter.add_metric("serve_qps_telemetry_off", {}, qps_off);
+  reporter.add_metric("serve_telemetry_overhead_pct", {}, overhead_pct);
+  reporter.add_metric("serve_latency_p50_ms", {}, phase_quantile(0.5) * 1e3);
+  reporter.add_metric("serve_latency_p90_ms", {}, phase_quantile(0.9) * 1e3);
+  reporter.add_metric("serve_latency_p99_ms", {}, phase_quantile(0.99) * 1e3);
+  reporter.add_metric("serve_rolling_p99_ms", {}, stats.rolling_p99_s * 1e3);
+  reporter.add_metric("serve_cache_hit_rate", {}, hit_rate_b);
   reporter.add_metric("serve_coalesced_batches", {},
-                      static_cast<double>(stats.coalesced_batches));
+                      static_cast<double>(stats.coalesced_batches -
+                                          stats_off.coalesced_batches));
   reporter.add_metric("serve_cache_revalidated", {},
-                      static_cast<double>(stats.cache_revalidated));
+                      static_cast<double>(stats.cache_revalidated -
+                                          stats_off.cache_revalidated));
+  reporter.add_metric("serve_audit_records", {},
+                      static_cast<double>(stats.audit_records));
 
   std::cout << "serve_load: " << total << " requests from " << clients
             << " clients in " << Table::fmt(load_seconds, 2) << "s — "
-            << Table::fmt(qps, 0) << " qps, p50 "
-            << Table::fmt(latency.quantile(0.5) * 1e3, 3) << "ms, p99 "
-            << Table::fmt(latency.quantile(0.99) * 1e3, 3) << "ms, hit rate "
-            << Table::fmt(stats.hit_rate(), 3) << ", " << stats.coalesced_batches
-            << " coalesced batches, " << stats.cache_revalidated
-            << " revalidations\n";
+            << Table::fmt(qps, 0) << " qps (telemetry off: "
+            << Table::fmt(qps_off, 0) << " qps, overhead "
+            << Table::fmt(overhead_pct, 1) << "%), p50 "
+            << Table::fmt(phase_quantile(0.5) * 1e3, 3) << "ms, p99 "
+            << Table::fmt(phase_quantile(0.99) * 1e3, 3) << "ms, rolling p99 "
+            << Table::fmt(stats.rolling_p99_s * 1e3, 3) << "ms, hit rate "
+            << Table::fmt(hit_rate_b, 3) << ", "
+            << stats.coalesced_batches - stats_off.coalesced_batches
+            << " coalesced batches, "
+            << stats.cache_revalidated - stats_off.cache_revalidated
+            << " revalidations, " << stats.audit_records << " audit records, "
+            << stats.suspect_updates << " suspect updates\n";
   return 0;
 }

@@ -1,0 +1,123 @@
+#include "obs/audit.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace taamr::obs {
+
+std::string audit_record_json(const AuditRecord& rec) {
+  std::ostringstream os;
+  os << "{\"t_us\":" << rec.t_us << ",\"item\":" << rec.item
+     << ",\"epoch\":" << rec.epoch << ",\"source\":\""
+     << json::escape(rec.source) << "\",\"linf_delta\":"
+     << json::number(rec.linf_delta)
+     << ",\"l2_delta\":" << json::number(rec.l2_delta)
+     << ",\"ssim\":" << json::number(rec.ssim)
+     << ",\"rate_ewma\":" << json::number(rec.rate_ewma)
+     << ",\"delta_z\":" << json::number(rec.delta_z)
+     << ",\"suspect\":" << (rec.suspect ? "true" : "false") << ",\"reason\":\""
+     << json::escape(rec.reason) << "\",\"rank_shifts\":[";
+  bool first = true;
+  for (const RankShift& rs : rec.rank_shifts) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"user\":" << rs.user << ",\"before\":" << rs.before
+       << ",\"after\":" << rs.after << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+AuditLog& AuditLog::global() {
+  static AuditLog log([] {
+    const char* path = std::getenv("TAAMR_AUDIT_LOG");
+    return path != nullptr ? expand_pid_path(path) : std::string();
+  }());
+  return log;
+}
+
+void AuditLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  path_ = path;
+  enabled_ = false;
+  written_ = 0;
+  if (path_.empty()) return;
+  std::ofstream os(path_, std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("AuditLog: cannot open " + path_);
+  }
+  enabled_ = true;
+}
+
+bool AuditLog::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void AuditLog::append(const AuditRecord& rec) {
+  const std::string line = audit_record_json(rec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  std::ofstream os(path_, std::ios::app);
+  if (!os) return;
+  os << line << '\n' << std::flush;
+  ++written_;
+}
+
+std::uint64_t AuditLog::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+UpdateAnomalyScorer::UpdateAnomalyScorer(AnomalyConfig config)
+    : config_(config) {}
+
+UpdateAnomalyScorer::Verdict UpdateAnomalyScorer::score(std::int64_t item,
+                                                        double l2_delta,
+                                                        std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Verdict v;
+
+  // Per-item update rate. The instantaneous rate of this arrival is
+  // 1/gap; blend it in with a half-life-scaled weight so a burst has to
+  // sustain itself for ~one half-life before the EWMA crosses a threshold.
+  ItemState& st = items_[item];
+  if (st.updates > 0 && now_us > st.last_us) {
+    const double gap_s = static_cast<double>(now_us - st.last_us) * 1e-6;
+    const double alpha =
+        1.0 - std::exp(-gap_s * (std::log(2.0) / config_.rate_halflife_s));
+    st.rate_ewma += alpha * (1.0 / gap_s - st.rate_ewma);
+  }
+  st.last_us = now_us;
+  st.updates += 1;
+  v.rate_ewma = st.rate_ewma;
+
+  // Global delta-norm z-score against the pre-update statistics, so an
+  // attacker's own spike does not immediately mask itself.
+  if (total_updates_ >= config_.warmup && delta_var_ > 0.0) {
+    v.z = (l2_delta - delta_mean_) / std::sqrt(delta_var_);
+  }
+  const double alpha = 1.0 - std::exp(-std::log(2.0) / config_.delta_halflife);
+  const double diff = l2_delta - delta_mean_;
+  delta_mean_ += alpha * diff;
+  delta_var_ = (1.0 - alpha) * (delta_var_ + alpha * diff * diff);
+  total_updates_ += 1;
+
+  if (st.updates >= config_.min_updates &&
+      st.rate_ewma > config_.rate_threshold_per_s) {
+    v.suspect = true;
+    v.reason = "rate";
+  } else if (std::abs(v.z) > config_.z_threshold) {
+    v.suspect = true;
+    v.reason = "delta_spike";
+  }
+  return v;
+}
+
+}  // namespace taamr::obs

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -10,6 +12,21 @@
 #include "obs/json.hpp"
 
 namespace taamr::obs {
+
+std::string expand_pid_path(std::string path) {
+  return expand_pid_path(std::move(path), static_cast<long>(::getpid()));
+}
+
+std::string expand_pid_path(std::string path, long pid) {
+  const std::string token = "%p";
+  const std::string value = std::to_string(pid);
+  std::size_t pos = 0;
+  while ((pos = path.find(token, pos)) != std::string::npos) {
+    path.replace(pos, token.size(), value);
+    pos += value.size();
+  }
+  return path;
+}
 
 bool telemetry_enabled() {
   static const bool enabled = std::getenv("TAAMR_METRICS_OUT") != nullptr ||
@@ -63,36 +80,44 @@ void Histogram::observe(double v) {
   }
 }
 
-double Histogram::quantile(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t count, double min, double max, double q) {
+  if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double lo = min(), hi = max();
-  const double rank = q * static_cast<double>(n);
+  const double rank = q * static_cast<double>(count);
   double cum = 0.0;
-  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
-    const double c = static_cast<double>(bucket_count(i));
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double c = static_cast<double>(buckets[i]);
     if (c == 0.0) continue;
     if (cum + c >= rank) {
       // Bucket edges, tightened by the observed min/max so the open-ended
       // first and overflow buckets interpolate over real data.
-      double lower = i == 0 ? lo : bounds_[i - 1];
-      double upper = i < bounds_.size() ? bounds_[i] : hi;
-      lower = std::max(lower, lo);
-      upper = std::min(upper, hi);
-      if (upper <= lower) return std::clamp(lower, lo, hi);
+      double lower = i == 0 ? min : bounds[i - 1];
+      double upper = i < bounds.size() ? bounds[i] : max;
+      lower = std::max(lower, min);
+      upper = std::min(upper, max);
+      if (upper <= lower) return std::clamp(lower, min, max);
       const double frac = (rank - cum) / c;
-      return std::clamp(lower + (upper - lower) * frac, lo, hi);
+      return std::clamp(lower + (upper - lower) * frac, min, max);
     }
     cum += c;
   }
-  return hi;
+  return max;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  std::vector<std::uint64_t> snapshot(bounds_.size() + 1);
+  for (std::size_t i = 0; i < snapshot.size(); ++i) snapshot[i] = bucket_count(i);
+  return bucket_quantile(bounds_, snapshot, n, min(), max(), q);
 }
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry([] {
     const char* path = std::getenv("TAAMR_METRICS_OUT");
-    return std::string(path != nullptr ? path : "");
+    return path != nullptr ? expand_pid_path(path) : std::string();
   }());
   return registry;
 }
@@ -177,7 +202,7 @@ void append_labels(std::ostringstream& os, const Labels& labels) {
 
 }  // namespace
 
-std::string MetricsRegistry::to_json() const {
+std::string MetricsRegistry::snapshot_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   os << "{\n\"counters\":[";
@@ -233,12 +258,97 @@ std::string MetricsRegistry::to_json() const {
   return os.str();
 }
 
+namespace {
+
+// Prometheus label values live inside double quotes and only need \\, \" and
+// \n escaped (a stricter subset of JSON escaping).
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void prom_labels(std::ostringstream& os, const Labels& labels,
+                 const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"" << prom_escape(v) << '"';
+  }
+  if (!extra.empty()) {
+    if (!first) os << ',';
+    os << extra;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  std::string last_name;
+  auto type_line = [&](const std::string& name, const char* type) {
+    if (name == last_name) return;
+    last_name = name;
+    os << "# TYPE " << name << ' ' << type << '\n';
+  };
+  for (const auto& [key, e] : counters_) {
+    type_line(e.name, "counter");
+    os << e.name;
+    prom_labels(os, e.labels);
+    os << ' ' << json::number(e.instrument->value()) << '\n';
+  }
+  last_name.clear();
+  for (const auto& [key, e] : gauges_) {
+    type_line(e.name, "gauge");
+    os << e.name;
+    prom_labels(os, e.labels);
+    os << ' ' << json::number(e.instrument->value()) << '\n';
+  }
+  last_name.clear();
+  for (const auto& [key, e] : histograms_) {
+    const Histogram& h = *e.instrument;
+    type_line(e.name, "histogram");
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+      cum += h.bucket_count(i);
+      const std::string le =
+          i < h.bounds().size() ? json::number(h.bounds()[i]) : "+Inf";
+      os << e.name << "_bucket";
+      prom_labels(os, e.labels, "le=\"" + le + "\"");
+      os << ' ' << cum << '\n';
+    }
+    os << e.name << "_sum";
+    prom_labels(os, e.labels);
+    os << ' ' << json::number(h.sum()) << '\n';
+    os << e.name << "_count";
+    prom_labels(os, e.labels);
+    os << ' ' << h.count() << '\n';
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
 void MetricsRegistry::write_json_file(const std::string& path) const {
   std::ofstream os(path);
   if (!os) {
     throw std::runtime_error("MetricsRegistry: cannot open " + path);
   }
-  os << to_json();
+  os << snapshot_json();
 }
 
 }  // namespace taamr::obs

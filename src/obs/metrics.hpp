@@ -38,6 +38,23 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 // Evaluated once at first call.
 bool telemetry_enabled();
 
+// Replaces every "%p" in `path` with the decimal process id, so concurrent
+// producers (e.g. a load bench and the server it forks, both started with
+// TAAMR_METRICS_OUT / TAAMR_TRACE / TAAMR_AUDIT_LOG pointing at the same
+// template) write distinct files instead of clobbering each other at exit.
+// Paths without "%p" pass through unchanged. The env readers of all three
+// knobs apply this at configuration time.
+std::string expand_pid_path(std::string path);
+std::string expand_pid_path(std::string path, long pid);  // tests
+
+// Quantile by linear interpolation inside the bucket holding the q-th
+// observation, with the tracked min/max tightening the open-ended first and
+// overflow buckets (Prometheus histogram_quantile style). Shared by
+// Histogram and SlidingWindowHistogram snapshots; 0 when count == 0.
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t count, double min, double max, double q);
+
 namespace detail {
 // C++20 has atomic<double>::fetch_add but libstdc++ lowers it to a CAS loop
 // anyway; spelling it out keeps the semantics explicit.
@@ -132,8 +149,18 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name, const Labels& labels = {},
                        std::vector<double> bounds = {});
 
-  // Weakly consistent JSON snapshot of every registered instrument.
-  std::string to_json() const;
+  // Weakly consistent snapshot of every registered instrument, safe to call
+  // mid-run from any thread (the serving stats/metrics ops read it on live
+  // traffic); the atexit dump reuses it.
+  std::string snapshot_json() const;
+  // Legacy spelling of snapshot_json().
+  std::string to_json() const { return snapshot_json(); }
+  // Prometheus-style text exposition of the same snapshot: counters and
+  // gauges as single samples, histograms as cumulative _bucket{le=...}
+  // series plus _sum/_count. Ends with "# EOF" (OpenMetrics-style), which
+  // doubles as the framing marker for the serving protocol's multi-line
+  // {"op":"metrics"} response.
+  std::string to_prometheus() const;
   void write_json_file(const std::string& path) const;
 
  private:

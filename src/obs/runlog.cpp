@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace taamr::obs {
@@ -31,7 +32,7 @@ struct RunLog::Impl {
 
 RunLog::RunLog() : impl_(new Impl) {
   if (const char* path = std::getenv("TAAMR_RUN_LOG")) {
-    impl_->path = path;
+    impl_->path = expand_pid_path(path);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace taamr::obs {
 
@@ -25,7 +26,7 @@ Trace& Trace::global() {
 Trace::Trace() {
   monotonic_us();  // pin the time origin to session start
   if (const char* path = std::getenv("TAAMR_TRACE")) {
-    if (path[0] != '\0') enable(path);
+    if (path[0] != '\0') enable(expand_pid_path(path));
   }
 }
 
@@ -47,6 +48,11 @@ void Trace::enable(std::string path) {
 }
 
 void Trace::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::string Trace::path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return path_;
+}
 
 void Trace::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -73,7 +79,15 @@ void Trace::record(std::string name, std::uint64_t ts_us, std::uint64_t dur_us) 
   if (!enabled()) return;
   ThreadBuf& buf = local_buf();
   std::lock_guard<std::mutex> lock(buf.mutex);
-  buf.events.push_back(Event{std::move(name), ts_us, dur_us});
+  buf.events.push_back(Event{std::move(name), ts_us, dur_us, 'X', 0});
+}
+
+void Trace::record_flow(std::string name, std::uint64_t id, bool start) {
+  if (!enabled()) return;
+  ThreadBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(
+      Event{std::move(name), monotonic_us(), 0, start ? 's' : 'f', id});
 }
 
 std::string Trace::to_json() const {
@@ -87,8 +101,16 @@ std::string Trace::to_json() const {
       if (!first) os << ',';
       first = false;
       os << "\n{\"name\":\"" << json::escape(e.name)
-         << "\",\"cat\":\"taamr\",\"ph\":\"X\",\"ts\":" << e.ts_us
-         << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << buf->tid << '}';
+         << "\",\"cat\":\"taamr\",\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts_us;
+      if (e.ph == 'X') {
+        os << ",\"dur\":" << e.dur_us;
+      } else {
+        // Flow events carry the linking id; "bp":"e" binds the finish to
+        // the enclosing span so viewers attach the arrowhead correctly.
+        os << ",\"id\":" << e.flow_id;
+        if (e.ph == 'f') os << ",\"bp\":\"e\"";
+      }
+      os << ",\"pid\":1,\"tid\":" << buf->tid << '}';
     }
   }
   os << "\n]}\n";

@@ -58,6 +58,12 @@ Request parse_request(const std::string& line) {
     req.model = require_string(root, "model");
     req.user = require_int(root, "user");
     if (root.find("n") != nullptr) req.n = require_int(root, "n");
+    if (const Value* dbg = root.find("debug"); dbg != nullptr) {
+      if (dbg->type != Value::Type::kBool) {
+        throw std::runtime_error("request field \"debug\" must be a boolean");
+      }
+      req.debug = dbg->boolean;
+    }
   } else if (op == "update_features") {
     req.op = Op::kUpdateFeatures;
     req.item = require_int(root, "item");
@@ -85,6 +91,8 @@ Request parse_request(const std::string& line) {
     req.op = Op::kModels;
   } else if (op == "stats") {
     req.op = Op::kStats;
+  } else if (op == "metrics") {
+    req.op = Op::kMetrics;
   } else if (op == "shutdown") {
     req.op = Op::kShutdown;
   } else {
@@ -93,7 +101,8 @@ Request parse_request(const std::string& line) {
   return req;
 }
 
-std::string format_recommendation(const Recommendation& rec) {
+std::string format_recommendation(const Recommendation& rec,
+                                  const obs::RequestContext* ctx) {
   std::string out = "{\"ok\":true,\"user\":" + std::to_string(rec.user) +
                     ",\"cached\":" + (rec.cached ? "true" : "false") +
                     ",\"model_version\":" + std::to_string(rec.model_version) +
@@ -104,7 +113,11 @@ std::string format_recommendation(const Recommendation& rec) {
     out += "{\"item\":" + std::to_string(rec.items[i].item) +
            ",\"score\":" + obs::json::number(rec.items[i].score) + '}';
   }
-  out += "]}";
+  out += "]";
+  if (ctx != nullptr) {
+    out += ",\"debug\":" + ctx->debug_json();
+  }
+  out += '}';
   return out;
 }
 
@@ -135,6 +148,13 @@ std::string format_stats(const RecommendService::Stats& stats) {
   out += ",\"cache_revalidated\":" + std::to_string(stats.cache_revalidated);
   out += ",\"coalesced_batches\":" + std::to_string(stats.coalesced_batches);
   out += ",\"feature_swaps\":" + std::to_string(stats.feature_swaps);
+  out += ",\"slow_requests\":" + std::to_string(stats.slow_requests);
+  out += ",\"deadline_breaches\":" + std::to_string(stats.deadline_breaches);
+  out += ",\"suspect_updates\":" + std::to_string(stats.suspect_updates);
+  out += ",\"audit_records\":" + std::to_string(stats.audit_records);
+  out += ",\"rolling_p50_ms\":" + obs::json::number(stats.rolling_p50_s * 1e3);
+  out += ",\"rolling_p90_ms\":" + obs::json::number(stats.rolling_p90_s * 1e3);
+  out += ",\"rolling_p99_ms\":" + obs::json::number(stats.rolling_p99_s * 1e3);
   out += ",\"hit_rate\":" + obs::json::number(stats.hit_rate());
   out += ",\"cache_size\":" + std::to_string(stats.cache.size);
   out += ",\"cache_capacity\":" + std::to_string(stats.cache.capacity);

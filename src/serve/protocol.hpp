@@ -5,20 +5,28 @@
 //
 // Requests:
 //   {"op":"recommend","model":"vbpr","user":3,"n":10}
+//   {"op":"recommend","model":"vbpr","user":3,"n":10,"debug":true}
 //   {"op":"update_features","item":5,"features":[0.1, ...]}
 //   {"op":"update_image","item":5,"seed":42}      // re-render + re-extract
 //   {"op":"swap_model","model":"vbpr","kind":"vbpr","path":"ckpt.bin"}
-//   {"op":"models"} | {"op":"stats"} | {"op":"shutdown"}
+//   {"op":"models"} | {"op":"stats"} | {"op":"metrics"} | {"op":"shutdown"}
 //
 // Responses always carry "ok"; failures carry "error" with the exception
 // message. recommend responses: {"ok":true,"user":3,"cached":false,
-// "model_version":1,"feature_epoch":0,"items":[{"item":7,"score":1.5},...]}
+// "model_version":1,"feature_epoch":0,"items":[{"item":7,"score":1.5},...]};
+// with "debug":true they additionally echo the request id and per-stage
+// latency attribution under "debug".
+//
+// "metrics" is the one multi-line response: the Prometheus text exposition
+// of every registered metric (rolling SLO gauges refreshed at scrape time),
+// terminated by a "# EOF" line that doubles as the framing marker.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/request_context.hpp"
 #include "serve/recommend_service.hpp"
 
 namespace taamr::serve {
@@ -30,6 +38,7 @@ enum class Op {
   kSwapModel,
   kModels,
   kStats,
+  kMetrics,
   kShutdown,
 };
 
@@ -38,6 +47,7 @@ struct Request {
   std::string model;           // recommend / swap_model
   std::int64_t user = -1;      // recommend
   std::int64_t n = 10;         // recommend (default top-10)
+  bool debug = false;          // recommend: echo stage attribution
   std::int64_t item = -1;      // update_features / update_image
   std::vector<float> features; // update_features
   std::uint64_t seed = 0;      // update_image
@@ -51,8 +61,10 @@ struct Request {
 Request parse_request(const std::string& line);
 
 // Response formatters; each returns a single line without the trailing
-// newline.
-std::string format_recommendation(const Recommendation& rec);
+// newline. `ctx` non-null appends the "debug" stage-attribution object
+// (the driver passes it only when the request asked for it).
+std::string format_recommendation(const Recommendation& rec,
+                                  const obs::RequestContext* ctx = nullptr);
 std::string format_error(const std::string& message);
 // {"ok":true} plus optional extra pre-rendered fields, e.g. R"("epoch":3)".
 std::string format_ok(const std::string& extra_fields = "");

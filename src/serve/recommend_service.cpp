@@ -44,6 +44,8 @@ ServeConfig ServeConfig::from_env() {
   c.batch_max = env_int64("TAAMR_SERVE_BATCH_MAX", c.batch_max, 1);
   c.batch_window_us = env_int64("TAAMR_SERVE_BATCH_WINDOW_US", c.batch_window_us, 0);
   c.update_log_window = env_int64("TAAMR_SERVE_UPDATE_LOG", c.update_log_window, 1);
+  c.slo_ms = env_int64("TAAMR_SERVE_SLO_MS", c.slo_ms, 0);
+  c.window_s = env_int64("TAAMR_SERVE_WINDOW_S", c.window_s, 1);
   return c;
 }
 
@@ -55,7 +57,12 @@ RecommendService::RecommendService(const data::ImplicitDataset& dataset,
       store_(std::move(raw_features),
              static_cast<std::size_t>(config.update_log_window)),
       config_(config),
-      cache_(config.cache_capacity, config.cache_shards) {
+      cache_(config.cache_capacity, config.cache_shards),
+      // One-second slots, same bucket layout as serve_request_seconds so
+      // rolling and lifetime quantiles interpolate over identical edges.
+      latency_window_(static_cast<std::uint64_t>(config.window_s) * 1000000ull,
+                      static_cast<std::size_t>(config.window_s),
+                      obs::exponential_bounds(1e-6, 2.0, 30)) {
   if (store_.num_items() != dataset_.num_items) {
     throw std::invalid_argument(
         "RecommendService: feature rows must match dataset items");
@@ -129,8 +136,15 @@ std::optional<CacheEntry> RecommendService::lookup(const CacheKey& key,
 void RecommendService::score_misses(const ModelRegistry::Snapshot& snap,
                                     const std::string& model,
                                     std::span<const std::int64_t> users, std::int64_t n,
-                                    std::span<Recommendation*> out) {
+                                    std::span<Recommendation*> out,
+                                    std::span<const std::uint64_t> flow_ids) {
   TAAMR_TRACE_SPAN("serve/score_batch");
+  // Close the flow arrows from every traced follower parked on this batch:
+  // emitted inside the span so viewers (and trace_request_paths) attach the
+  // arrowhead to the leader's scoring span.
+  for (const std::uint64_t id : flow_ids) {
+    obs::Trace::global().record_flow("serve/coalesce", id, /*start=*/false);
+  }
   const std::int64_t num_items = dataset_.num_items;
   const std::int64_t count = static_cast<std::int64_t>(users.size());
   obs::MetricsRegistry::global()
@@ -169,6 +183,12 @@ void RecommendService::score_misses(const ModelRegistry::Snapshot& snap,
 
 std::vector<Recommendation> RecommendService::recommend_batch(
     const std::string& model, std::span<const std::int64_t> users, std::int64_t n) {
+  return recommend_batch_impl(model, users, n, {});
+}
+
+std::vector<Recommendation> RecommendService::recommend_batch_impl(
+    const std::string& model, std::span<const std::int64_t> users, std::int64_t n,
+    std::span<const std::uint64_t> flow_ids) {
   if (n <= 0) throw std::invalid_argument("recommend_batch: n must be positive");
   for (const std::int64_t u : users) {
     if (u < 0 || u >= dataset_.num_users) {
@@ -199,23 +219,42 @@ std::vector<Recommendation> RecommendService::recommend_batch(
     }
   }
   if (!miss_users.empty()) {
-    score_misses(snap, model, miss_users, n, miss_out);
+    score_misses(snap, model, miss_users, n, miss_out, flow_ids);
   }
   return results;
 }
 
+void RecommendService::observe_request(double seconds) {
+  obs::MetricsRegistry::global()
+      .histogram("serve_request_seconds", {},
+                 obs::exponential_bounds(1e-6, 2.0, 30))
+      .observe(seconds);
+  latency_window_.observe(seconds);
+  if (config_.slo_ms > 0) {
+    const double slo_s = static_cast<double>(config_.slo_ms) * 1e-3;
+    if (seconds > slo_s) {
+      slow_requests_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global()
+          .counter("serve_slow_requests_total")
+          .increment();
+    }
+    if (seconds > 2.0 * slo_s) {
+      deadline_breaches_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global()
+          .counter("serve_deadline_breach_total")
+          .increment();
+    }
+  }
+}
+
 Recommendation RecommendService::recommend(const std::string& model, std::int64_t user,
-                                           std::int64_t n) {
+                                           std::int64_t n, obs::RequestContext* ctx) {
   TAAMR_TRACE_SPAN("serve/request");
   const auto t0 = std::chrono::steady_clock::now();
-  auto observe_latency = [&t0]() {
-    const double secs = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-    obs::MetricsRegistry::global()
-        .histogram("serve_request_seconds", {},
-                   obs::exponential_bounds(1e-6, 2.0, 30))
-        .observe(secs);
+  auto observe_latency = [&t0, this]() {
+    observe_request(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
   };
 
   if (n <= 0) throw std::invalid_argument("recommend: n must be positive");
@@ -225,8 +264,9 @@ Recommendation RecommendService::recommend(const std::string& model, std::int64_
   const ModelRegistry::Snapshot snap = registry_.get(model);
   {
     const CacheKey key{model, user, n};
-    if (std::optional<CacheEntry> entry = lookup(key, snap, /*count_miss=*/false);
-        entry.has_value()) {
+    std::optional<CacheEntry> entry = lookup(key, snap, /*count_miss=*/false);
+    if (ctx != nullptr) ctx->mark("cache_lookup");
+    if (entry.has_value()) {
       requests_.fetch_add(1, std::memory_order_relaxed);
       obs::MetricsRegistry::global()
           .counter("serve_requests_total", {{"model", model}})
@@ -254,6 +294,13 @@ Recommendation RecommendService::recommend(const std::string& model, std::int64_
       batch = pending_;
       index = batch->users.size();
       batch->users.push_back(user);
+      if (ctx != nullptr && obs::Trace::global().enabled()) {
+        // Follower: open a flow arrow here; the leader closes it inside its
+        // scoring span, linking this request to the batch that served it.
+        batch->flow_ids.push_back(ctx->id());
+        obs::Trace::global().record_flow("serve/coalesce", ctx->id(),
+                                         /*start=*/true);
+      }
       if (static_cast<std::int64_t>(batch->users.size()) >= config_.batch_max) {
         // Full: wake the leader early instead of letting it linger.
         batch->closed = true;
@@ -261,6 +308,7 @@ Recommendation RecommendService::recommend(const std::string& model, std::int64_
         batch->cv.notify_all();
       }
       batch->cv.wait(lock, [&batch] { return batch->done; });
+      if (ctx != nullptr) ctx->mark("coalesce_wait");
     } else {
       leader = true;
       batch = std::make_shared<PendingBatch>();
@@ -279,18 +327,21 @@ Recommendation RecommendService::recommend(const std::string& model, std::int64_
                          [&batch] { return batch->closed; });
     }
     std::vector<std::int64_t> users;
+    std::vector<std::uint64_t> flow_ids;
     {
       std::lock_guard<std::mutex> lock(batch_mutex_);
       batch->closed = true;
       if (pending_ == batch) pending_.reset();
       users = batch->users;
+      flow_ids = batch->flow_ids;
     }
+    if (ctx != nullptr) ctx->mark("coalesce_wait");  // the linger window
     if (users.size() > 1) {
       coalesced_batches_.fetch_add(1, std::memory_order_relaxed);
     }
     std::vector<Recommendation> results;
     try {
-      results = recommend_batch(model, users, n);
+      results = recommend_batch_impl(model, users, n, flow_ids);
     } catch (...) {
       std::lock_guard<std::mutex> lock(batch_mutex_);
       batch->error = std::current_exception();
@@ -298,6 +349,7 @@ Recommendation RecommendService::recommend(const std::string& model, std::int64_
       batch->cv.notify_all();
       throw;
     }
+    if (ctx != nullptr) ctx->mark("score");
     {
       std::lock_guard<std::mutex> lock(batch_mutex_);
       batch->results = std::move(results);
@@ -318,12 +370,42 @@ Recommendation RecommendService::recommend(const std::string& model, std::int64_
   return rec;
 }
 
+std::int64_t RecommendService::item_rank(const recsys::Recommender& model,
+                                         std::int64_t user,
+                                         std::int64_t item) const {
+  const float target = model.score(user, item);
+  std::int64_t rank = 0;
+  for (std::int64_t j = 0; j < dataset_.num_items; ++j) {
+    if (j == item) continue;
+    if (config_.exclude_train &&
+        dataset_.user_interacted(user, static_cast<std::int32_t>(j))) {
+      continue;
+    }
+    const float s = model.score(user, j);
+    // Canonical serving order: score desc, id asc on ties.
+    if (s > target || (s == target && j < item)) ++rank;
+  }
+  return rank;
+}
+
 std::uint64_t RecommendService::update_item_features(std::int64_t item,
                                                      std::span<const float> features) {
+  return update_item_features(item, features, UpdateOrigin{});
+}
+
+std::uint64_t RecommendService::update_item_features(std::int64_t item,
+                                                     std::span<const float> features,
+                                                     const UpdateOrigin& origin) {
   TAAMR_TRACE_SPAN("serve/feature_swap");
   std::lock_guard<std::mutex> lock(update_mutex_);
+  // Previous row read before the write: the delta norms below are the
+  // forensic core of the audit record.
+  const std::vector<float> prev = store_.item_features(item);
   const std::uint64_t epoch = store_.update(item, features);
   const Tensor snapshot = store_.snapshot();
+
+  const bool auditing = obs::AuditLog::global().enabled();
+  obs::AuditRecord record;
   for (const std::string& name : registry_.names()) {
     const ModelRegistry::Snapshot snap = registry_.get(name);
     if (!snap.visual) continue;
@@ -335,11 +417,55 @@ std::uint64_t RecommendService::update_item_features(std::int64_t item,
     // identically (serving never trains).
     auto rebuilt = std::make_shared<recsys::Vbpr>(*vbpr);
     rebuilt->set_item_features(snapshot);
+    if (auditing && record.rank_shifts.empty()) {
+      // Rank-shift sample against the first visual model: where did the
+      // pushed item sit for a few probe users before and after this swap?
+      const std::int64_t probes = std::min<std::int64_t>(3, dataset_.num_users);
+      for (std::int64_t u = 0; u < probes; ++u) {
+        record.rank_shifts.push_back(obs::RankShift{
+            u, item_rank(*snap.model, u, item), item_rank(*rebuilt, u, item)});
+      }
+    }
     registry_.swap_features(name, std::move(rebuilt), epoch);
   }
   feature_swaps_.fetch_add(1, std::memory_order_relaxed);
+
+  double linf = 0.0;
+  double l2 = 0.0;
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    const double d = static_cast<double>(features[i]) - prev[i];
+    linf = std::max(linf, std::abs(d));
+    l2 += d * d;
+  }
+  l2 = std::sqrt(l2);
+
+  const std::uint64_t now_us = obs::monotonic_us();
+  const obs::UpdateAnomalyScorer::Verdict verdict =
+      anomaly_scorer_.score(item, l2, now_us);
+  if (verdict.suspect) {
+    suspect_updates_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::global()
+        .counter("serve_suspect_update_total", {{"reason", verdict.reason}})
+        .increment();
+  }
+  if (auditing) {
+    record.t_us = now_us;
+    record.item = item;
+    record.epoch = epoch;
+    record.source = origin.source;
+    record.linf_delta = linf;
+    record.l2_delta = l2;
+    record.ssim = origin.ssim;
+    record.rate_ewma = verdict.rate_ewma;
+    record.delta_z = verdict.z;
+    record.suspect = verdict.suspect;
+    record.reason = verdict.reason;
+    obs::AuditLog::global().append(record);
+  }
   return epoch;
 }
+
+void RecommendService::clear_cache() { cache_.clear(); }
 
 RecommendService::Stats RecommendService::stats() const {
   Stats st;
@@ -349,8 +475,29 @@ RecommendService::Stats RecommendService::stats() const {
   st.cache_revalidated = revalidated_.load(std::memory_order_relaxed);
   st.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
   st.feature_swaps = feature_swaps_.load(std::memory_order_relaxed);
+  st.slow_requests = slow_requests_.load(std::memory_order_relaxed);
+  st.deadline_breaches = deadline_breaches_.load(std::memory_order_relaxed);
+  st.suspect_updates = suspect_updates_.load(std::memory_order_relaxed);
+  st.audit_records = obs::AuditLog::global().records_written();
+  const obs::SlidingWindowHistogram::Snapshot win = latency_window_.snapshot();
+  st.rolling_p50_s = win.quantile(0.50);
+  st.rolling_p90_s = win.quantile(0.90);
+  st.rolling_p99_s = win.quantile(0.99);
   st.cache = cache_.stats();
   return st;
+}
+
+std::string RecommendService::metrics_text() const {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::SlidingWindowHistogram::Snapshot win = latency_window_.snapshot();
+  // Refreshed at scrape time: gauges are the natural exposition for a
+  // quantile that decays as its window slides.
+  registry.gauge("serve_rolling_p50_seconds").set(win.quantile(0.50));
+  registry.gauge("serve_rolling_p90_seconds").set(win.quantile(0.90));
+  registry.gauge("serve_rolling_p99_seconds").set(win.quantile(0.99));
+  registry.gauge("serve_rolling_window_requests")
+      .set(static_cast<double>(win.count));
+  return registry.to_prometheus();
 }
 
 }  // namespace taamr::serve

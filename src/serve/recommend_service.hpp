@@ -24,7 +24,11 @@
 // update_item_features serializes writers, pushes the new row into the
 // store, rebuilds every visual model against the snapshot and swap_features
 // it into the registry. Readers are never blocked: they score whichever
-// immutable model snapshot they hold.
+// immutable model snapshot they hold. Every update also feeds the
+// attack-forensics trail (obs/audit.hpp): feature-delta norms, a streaming
+// anomaly verdict (serve_suspect_update_total{reason=...}), and — when
+// $TAAMR_AUDIT_LOG is set — a JSONL audit record with a rank-shift sample
+// for a few probe users.
 #pragma once
 
 #include <atomic>
@@ -36,6 +40,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/audit.hpp"
+#include "obs/request_context.hpp"
+#include "obs/sliding_window.hpp"
 #include "serve/feature_store.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/topn_cache.hpp"
@@ -48,6 +55,12 @@ struct ServeConfig {
   std::int64_t batch_max = 64;           // TAAMR_SERVE_BATCH_MAX
   std::int64_t batch_window_us = 200;    // TAAMR_SERVE_BATCH_WINDOW_US
   std::int64_t update_log_window = 256;  // TAAMR_SERVE_UPDATE_LOG
+  // SLO threshold in milliseconds: a request slower than slo_ms counts as
+  // slow, slower than 2*slo_ms as a deadline breach. 0 disables both.
+  std::int64_t slo_ms = 50;              // TAAMR_SERVE_SLO_MS
+  // Rolling-quantile window in seconds (serve_rolling_p99 and friends
+  // reflect the last window_s seconds, not process lifetime).
+  std::int64_t window_s = 30;            // TAAMR_SERVE_WINDOW_S
   bool exclude_train = true;             // serve unseen items (eval protocol)
 
   // Reads the TAAMR_SERVE_* environment knobs; malformed values fall back
@@ -72,18 +85,41 @@ class RecommendService {
 
   // Top-n for one user; blocks briefly while coalescing with concurrent
   // callers. Throws std::runtime_error for unknown models,
-  // std::invalid_argument for bad user/n.
-  Recommendation recommend(const std::string& model, std::int64_t user, std::int64_t n);
+  // std::invalid_argument for bad user/n. When `ctx` is non-null the
+  // request's per-stage latency (cache_lookup / coalesce_wait / score) is
+  // attributed to it, and coalesced followers are flow-linked to their
+  // leader's scoring span in the trace.
+  Recommendation recommend(const std::string& model, std::int64_t user,
+                           std::int64_t n, obs::RequestContext* ctx = nullptr);
 
   // Batched entry point (the coalescer leader and bulk clients land here).
   std::vector<Recommendation> recommend_batch(const std::string& model,
                                               std::span<const std::int64_t> users,
                                               std::int64_t n);
 
+  // Provenance attached to a feature update for the audit trail. `ssim`
+  // carries the front-end's structural similarity vs the item's previous
+  // rendered image when it has one (-1 = unavailable; feature-only updates
+  // have no image to compare).
+  struct UpdateOrigin {
+    const char* source = "update_features";
+    double ssim = -1.0;
+  };
+
   // Hot feature swap: new raw feature row for `item`, visual models rebuilt
   // and atomically swapped. Returns the new feature epoch. Thread-safe
-  // against concurrent recommend() calls and other updates.
-  std::uint64_t update_item_features(std::int64_t item, std::span<const float> features);
+  // against concurrent recommend() calls and other updates. Feeds the
+  // anomaly scorer and, when enabled, the audit log; the no-origin overload
+  // records the default "update_features" provenance.
+  std::uint64_t update_item_features(std::int64_t item,
+                                     std::span<const float> features);
+  std::uint64_t update_item_features(std::int64_t item,
+                                     std::span<const float> features,
+                                     const UpdateOrigin& origin);
+
+  // Drops every cached list (counters are kept). Lets benchmarks compare
+  // phases from identical cold-cache states.
+  void clear_cache();
 
   struct Stats {
     std::uint64_t requests = 0;
@@ -92,6 +128,13 @@ class RecommendService {
     std::uint64_t cache_revalidated = 0;  // subset of cache_hits
     std::uint64_t coalesced_batches = 0;
     std::uint64_t feature_swaps = 0;
+    std::uint64_t slow_requests = 0;      // latency > slo_ms
+    std::uint64_t deadline_breaches = 0;  // latency > 2*slo_ms
+    std::uint64_t suspect_updates = 0;    // anomaly-scorer flags
+    std::uint64_t audit_records = 0;      // JSONL lines written
+    double rolling_p50_s = 0.0;  // over the last window_s seconds
+    double rolling_p90_s = 0.0;
+    double rolling_p99_s = 0.0;
     TopNCache::Stats cache;
     double hit_rate() const {
       const double total = static_cast<double>(cache_hits + cache_misses);
@@ -99,6 +142,11 @@ class RecommendService {
     }
   };
   Stats stats() const;
+
+  // Refreshes the serve_rolling_{p50,p90,p99}_seconds gauges from the
+  // sliding window and returns the full Prometheus exposition. Backs the
+  // protocol's {"op":"metrics"}.
+  std::string metrics_text() const;
 
   const ServeConfig& config() const { return config_; }
   const FeatureStore& feature_store() const { return store_; }
@@ -110,6 +158,9 @@ class RecommendService {
     std::string model;
     std::int64_t n = 0;
     std::vector<std::int64_t> users;
+    // Request ids of traced followers parked on this batch; the leader
+    // emits the matching flow-finish events inside its scoring span.
+    std::vector<std::uint64_t> flow_ids;
     std::vector<Recommendation> results;
     std::exception_ptr error;
     bool closed = false;  // no longer accepting joiners
@@ -117,6 +168,11 @@ class RecommendService {
     std::condition_variable cv;
   };
 
+  // Shared body of recommend_batch; the coalescer leader additionally
+  // passes its followers' flow ids for trace linkage.
+  std::vector<Recommendation> recommend_batch_impl(
+      const std::string& model, std::span<const std::int64_t> users,
+      std::int64_t n, std::span<const std::uint64_t> flow_ids);
   // Cache lookup + revalidation. Hits are always counted; misses only when
   // count_miss is set — recommend()'s fast-path probe passes false because
   // a missing user flows into a coalesced batch whose leader re-probes (and
@@ -125,9 +181,18 @@ class RecommendService {
                                    const ModelRegistry::Snapshot& snap,
                                    bool count_miss);
   // Scores `users` (all cache misses) against `snap` and fills results.
+  // `flow_ids` are the traced followers to flow-link into this scoring span.
   void score_misses(const ModelRegistry::Snapshot& snap, const std::string& model,
                     std::span<const std::int64_t> users, std::int64_t n,
-                    std::span<Recommendation*> out);
+                    std::span<Recommendation*> out,
+                    std::span<const std::uint64_t> flow_ids = {});
+  // Latency bookkeeping shared by every recommend() exit: lifetime + rolling
+  // histograms, SLO counters.
+  void observe_request(double seconds);
+  // Rank of `item` for `user` under `model` (canonical score-desc/id-asc
+  // order, train items excluded per config) — the audit trail's probe.
+  std::int64_t item_rank(const recsys::Recommender& model, std::int64_t user,
+                         std::int64_t item) const;
 
   const data::ImplicitDataset& dataset_;
   ModelRegistry& registry_;
@@ -140,12 +205,18 @@ class RecommendService {
   std::mutex batch_mutex_;
   std::shared_ptr<PendingBatch> pending_;
 
+  obs::SlidingWindowHistogram latency_window_;
+  obs::UpdateAnomalyScorer anomaly_scorer_;
+
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> revalidated_{0};
   std::atomic<std::uint64_t> coalesced_batches_{0};
   std::atomic<std::uint64_t> feature_swaps_{0};
+  std::atomic<std::uint64_t> slow_requests_{0};
+  std::atomic<std::uint64_t> deadline_breaches_{0};
+  std::atomic<std::uint64_t> suspect_updates_{0};
 };
 
 }  // namespace taamr::serve

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/audit.hpp"
+#include "obs/json.hpp"
+
+namespace taamr::obs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Audit, RecordJsonRoundTrips) {
+  AuditRecord rec;
+  rec.t_us = 123456;
+  rec.item = 42;
+  rec.epoch = 7;
+  rec.source = "update_image";
+  rec.linf_delta = 0.25;
+  rec.l2_delta = 1.5;
+  rec.ssim = 0.97;
+  rec.rate_ewma = 2.0;
+  rec.delta_z = -0.5;
+  rec.suspect = true;
+  rec.reason = "rate";
+  rec.rank_shifts.push_back(RankShift{0, 10, 3});
+  rec.rank_shifts.push_back(RankShift{1, 5, 5});
+
+  const json::Value doc = json::parse(audit_record_json(rec));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("t_us")->num, 123456.0);
+  EXPECT_DOUBLE_EQ(doc.find("item")->num, 42.0);
+  EXPECT_DOUBLE_EQ(doc.find("epoch")->num, 7.0);
+  EXPECT_EQ(doc.find("source")->str, "update_image");
+  EXPECT_DOUBLE_EQ(doc.find("linf_delta")->num, 0.25);
+  EXPECT_DOUBLE_EQ(doc.find("l2_delta")->num, 1.5);
+  EXPECT_DOUBLE_EQ(doc.find("ssim")->num, 0.97);
+  EXPECT_DOUBLE_EQ(doc.find("rate_ewma")->num, 2.0);
+  EXPECT_DOUBLE_EQ(doc.find("delta_z")->num, -0.5);
+  EXPECT_TRUE(doc.find("suspect")->boolean);
+  EXPECT_EQ(doc.find("reason")->str, "rate");
+  const json::Value* shifts = doc.find("rank_shifts");
+  ASSERT_NE(shifts, nullptr);
+  ASSERT_EQ(shifts->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(shifts->array[0].find("before")->num, 10.0);
+  EXPECT_DOUBLE_EQ(shifts->array[0].find("after")->num, 3.0);
+  EXPECT_DOUBLE_EQ(shifts->array[1].find("user")->num, 1.0);
+}
+
+TEST(Audit, LogAppendsOneLinePerRecordAndCounts) {
+  const std::string path = temp_path("audit_test.jsonl");
+  AuditLog log(path);
+  ASSERT_TRUE(log.enabled());
+  EXPECT_EQ(log.records_written(), 0u);
+
+  AuditRecord rec;
+  rec.item = 1;
+  rec.source = "update_features";
+  log.append(rec);
+  rec.item = 2;
+  log.append(rec);
+  EXPECT_EQ(log.records_written(), 2u);
+
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const json::Value doc = json::parse(line);  // every line parses alone
+    EXPECT_DOUBLE_EQ(doc.find("item")->num, static_cast<double>(lines));
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Audit, LogOpenTruncatesAndEmptyPathDisables) {
+  const std::string path = temp_path("audit_trunc.jsonl");
+  AuditLog log(path);
+  log.append(AuditRecord{});
+  EXPECT_EQ(log.records_written(), 1u);
+  log.open(path);  // re-open truncates and resets the counter
+  EXPECT_EQ(log.records_written(), 0u);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_TRUE(contents.empty());
+
+  log.open("");
+  EXPECT_FALSE(log.enabled());
+  log.append(AuditRecord{});  // silently dropped
+  EXPECT_EQ(log.records_written(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Audit, ScorerFlagsRapidPerItemUpdates) {
+  // An iterative attack: item 7 pushed every 100 ms. The rate EWMA climbs
+  // toward 10/s and must cross the 0.5/s threshold once min_updates is met.
+  UpdateAnomalyScorer scorer;
+  UpdateAnomalyScorer::Verdict last;
+  std::uint64_t t = 1'000'000;
+  for (int i = 0; i < 10; ++i) {
+    last = scorer.score(7, 0.1, t);
+    t += 100'000;  // 10 Hz
+  }
+  EXPECT_TRUE(last.suspect);
+  EXPECT_EQ(last.reason, "rate");
+  EXPECT_GT(last.rate_ewma, 0.5);
+}
+
+TEST(Audit, ScorerKeepsCatalogChurnClean) {
+  // Distinct items updated once each at a sedate pace: no per-item rate,
+  // and uniform deltas never spike the z-score.
+  UpdateAnomalyScorer scorer;
+  std::uint64_t t = 1'000'000;
+  for (int i = 0; i < 30; ++i) {
+    const auto v = scorer.score(i, 0.1, t);
+    EXPECT_FALSE(v.suspect) << "update " << i;
+    t += 5'000'000;  // one update per 5 s, all different items
+  }
+}
+
+TEST(Audit, ScorerFlagsDeltaSpikeAfterWarmup) {
+  // Steady small deltas across many items seed the global stats; one huge
+  // jump must flag delta_spike (the rate path stays quiet: distinct items).
+  UpdateAnomalyScorer scorer;
+  std::uint64_t t = 1'000'000;
+  for (int i = 0; i < 20; ++i) {
+    // Slight jitter so the variance estimate is non-degenerate.
+    const double delta = 0.1 + 0.01 * static_cast<double>(i % 3);
+    EXPECT_FALSE(scorer.score(i, delta, t).suspect);
+    t += 10'000'000;
+  }
+  const auto v = scorer.score(999, 50.0, t);
+  EXPECT_TRUE(v.suspect);
+  EXPECT_EQ(v.reason, "delta_spike");
+  EXPECT_GT(v.z, 4.0);
+}
+
+TEST(Audit, ScorerRateDecaysWhenPushesStop) {
+  // The EWMA decays toward the (slow) instantaneous rate once the burst
+  // ends — a long-quiet item does not stay flagged forever.
+  UpdateAnomalyScorer scorer;
+  std::uint64_t t = 1'000'000;
+  UpdateAnomalyScorer::Verdict v;
+  for (int i = 0; i < 12; ++i) {
+    v = scorer.score(3, 0.1, t);
+    t += 100'000;
+  }
+  ASSERT_TRUE(v.suspect);
+  // One update after a 10-minute silence: rate collapses below threshold.
+  t += 600'000'000;
+  v = scorer.score(3, 0.1, t);
+  EXPECT_LT(v.rate_ewma, 0.5);
+  EXPECT_NE(v.reason, "rate");
+}
+
+}  // namespace
+}  // namespace taamr::obs

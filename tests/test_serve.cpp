@@ -276,7 +276,23 @@ TEST(ServeProtocol, ParsesOtherOps) {
 
   EXPECT_EQ(serve::parse_request(R"({"op":"models"})").op, serve::Op::kModels);
   EXPECT_EQ(serve::parse_request(R"({"op":"stats"})").op, serve::Op::kStats);
+  EXPECT_EQ(serve::parse_request(R"({"op":"metrics"})").op, serve::Op::kMetrics);
   EXPECT_EQ(serve::parse_request(R"({"op":"shutdown"})").op, serve::Op::kShutdown);
+}
+
+TEST(ServeProtocol, ParsesDebugFlag) {
+  EXPECT_FALSE(
+      serve::parse_request(R"({"op":"recommend","model":"m","user":0})").debug);
+  EXPECT_TRUE(serve::parse_request(
+                  R"({"op":"recommend","model":"m","user":0,"debug":true})")
+                  .debug);
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"op":"recommend","model":"m","user":0,"debug":false})")
+                   .debug);
+  // Debug must be a boolean, not a truthy lookalike.
+  EXPECT_THROW(serve::parse_request(
+                   R"({"op":"recommend","model":"m","user":0,"debug":1})"),
+               std::runtime_error);
 }
 
 TEST(ServeProtocol, RejectsMalformedRequests) {
@@ -329,6 +345,47 @@ TEST(ServeProtocol, ResponsesAreValidJson) {
   EXPECT_EQ(obs::json::parse(serve::format_ok("\"epoch\":3")).find("epoch")->num, 3.0);
 }
 
+TEST(ServeProtocol, StatsCarryTelemetryFields) {
+  serve::RecommendService::Stats stats;
+  stats.slow_requests = 3;
+  stats.deadline_breaches = 1;
+  stats.suspect_updates = 2;
+  stats.audit_records = 9;
+  stats.rolling_p50_s = 0.001;
+  stats.rolling_p90_s = 0.010;
+  stats.rolling_p99_s = 0.250;
+  const auto doc = obs::json::parse(serve::format_stats(stats));
+  EXPECT_EQ(doc.find("slow_requests")->num, 3.0);
+  EXPECT_EQ(doc.find("deadline_breaches")->num, 1.0);
+  EXPECT_EQ(doc.find("suspect_updates")->num, 2.0);
+  EXPECT_EQ(doc.find("audit_records")->num, 9.0);
+  EXPECT_NEAR(doc.find("rolling_p50_ms")->num, 1.0, 1e-9);
+  EXPECT_NEAR(doc.find("rolling_p90_ms")->num, 10.0, 1e-9);
+  EXPECT_NEAR(doc.find("rolling_p99_ms")->num, 250.0, 1e-9);
+}
+
+TEST(ServeProtocol, DebugEchoAttachesStageBreakdown) {
+  serve::Recommendation rec;
+  rec.user = 1;
+  rec.items = {{4, 2.0f}};
+  obs::RequestContext ctx;
+  ctx.add_stage("parse", 10);
+  ctx.add_stage("score", 200);
+
+  // Without a context the response has no debug payload.
+  EXPECT_EQ(obs::json::parse(serve::format_recommendation(rec)).find("debug"),
+            nullptr);
+
+  const auto doc = obs::json::parse(serve::format_recommendation(rec, &ctx));
+  const obs::json::Value* dbg = doc.find("debug");
+  ASSERT_NE(dbg, nullptr);
+  EXPECT_EQ(dbg->find("request_id")->str, std::to_string(ctx.id()));
+  const obs::json::Value* stages = dbg->find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_DOUBLE_EQ(stages->find("parse")->num, 10.0);
+  EXPECT_DOUBLE_EQ(stages->find("score")->num, 200.0);
+}
+
 // ---- ServeConfig ----
 
 TEST(ServeConfigEnv, ReadsAndValidatesKnobs) {
@@ -356,6 +413,27 @@ TEST(ServeConfigEnv, ReadsAndValidatesKnobs) {
                           "TAAMR_SERVE_UPDATE_LOG"}) {
     ::unsetenv(var);
   }
+}
+
+TEST(ServeConfigEnv, ReadsSloAndWindowKnobs) {
+  ::setenv("TAAMR_SERVE_SLO_MS", "25", 1);
+  ::setenv("TAAMR_SERVE_WINDOW_S", "10", 1);
+  auto cfg = serve::ServeConfig::from_env();
+  EXPECT_EQ(cfg.slo_ms, 25);
+  EXPECT_EQ(cfg.window_s, 10);
+
+  // slo_ms 0 disables the SLO counters; window_s must stay positive.
+  ::setenv("TAAMR_SERVE_SLO_MS", "0", 1);
+  ::setenv("TAAMR_SERVE_WINDOW_S", "0", 1);
+  cfg = serve::ServeConfig::from_env();
+  EXPECT_EQ(cfg.slo_ms, 0);
+  EXPECT_EQ(cfg.window_s, serve::ServeConfig{}.window_s);
+
+  ::unsetenv("TAAMR_SERVE_SLO_MS");
+  ::unsetenv("TAAMR_SERVE_WINDOW_S");
+  cfg = serve::ServeConfig::from_env();
+  EXPECT_EQ(cfg.slo_ms, serve::ServeConfig{}.slo_ms);
+  EXPECT_EQ(cfg.window_s, serve::ServeConfig{}.window_s);
 }
 
 }  // namespace

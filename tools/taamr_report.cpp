@@ -14,6 +14,7 @@
 //       --baseline old/BENCH_table2_chr.json --threshold 10%
 //
 // Exit codes: 0 ok, 1 schema violation or regression, 2 usage/IO error.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -186,11 +187,103 @@ void render_runlog_section(std::ostream& os, const std::string& text,
 
 void render_trace_section(std::ostream& os, const obs::TraceDocument& doc) {
   os << "## Trace: top spans by self-time\n\n";
-  os << doc.total_events() << " events on " << doc.by_tid.size() << " thread(s)\n\n";
+  os << doc.total_events() << " events on " << doc.by_tid.size()
+     << " thread(s), " << doc.flows.size() << " flow event(s)\n\n";
   os << "| span | self (ms) | wall (ms) | count |\n|---|---|---|---|\n";
   for (const auto& [name, s] : obs::trace_top_spans(doc, 10)) {
     os << "| " << name << " | " << Table::fmt(s.self_us / 1e3, 3) << " | "
        << Table::fmt(s.wall_us / 1e3, 3) << " | " << s.count << " |\n";
+  }
+  os << "\n";
+  const auto paths = obs::trace_request_paths(doc);
+  if (!paths.empty()) {
+    os << "| request id | followers | leader span (ms) | critical (ms) "
+          "|\n|---|---|---|---|\n";
+    std::size_t shown = 0;
+    for (const obs::TraceRequestPath& p : paths) {
+      if (++shown > 10) break;
+      os << "| " << p.id << " | " << p.followers << " | "
+         << Table::fmt(p.leader_span_us / 1e3, 3) << " | "
+         << Table::fmt(p.critical_us / 1e3, 3) << " |\n";
+    }
+    os << "\n";
+  }
+}
+
+// Validates and summarizes an attack-forensics audit JSONL file. Throws on
+// any malformed or schema-violating line (the serve_obs gate runs this to
+// assert the records parse), so a truncated or interleaved write fails loud.
+void render_audit_section(std::ostream& os, const std::string& text,
+                          const std::string& path) {
+  std::size_t records = 0, suspects = 0;
+  std::map<std::string, std::size_t> by_reason;
+  std::map<std::string, std::size_t> by_source;
+  std::map<long long, std::size_t> by_item;
+  double max_l2 = 0.0;
+  double min_ssim = 2.0;  // SSIM lives in [-1, 1]
+  bool any_ssim = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    json::Value v;
+    try {
+      v = json::parse(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": malformed audit record: " + e.what());
+    }
+    const json::Value* item = v.find("item");
+    const json::Value* source = v.find("source");
+    const json::Value* l2 = v.find("l2_delta");
+    const json::Value* suspect = v.find("suspect");
+    if (item == nullptr || !item->is_number() || source == nullptr ||
+        !source->is_string() || l2 == nullptr || !l2->is_number() ||
+        suspect == nullptr || suspect->type != json::Value::Type::kBool) {
+      throw std::runtime_error(
+          path + ":" + std::to_string(lineno) +
+          ": audit record missing item/source/l2_delta/suspect");
+    }
+    ++records;
+    by_source[source->str]++;
+    by_item[static_cast<long long>(item->num)]++;
+    max_l2 = std::max(max_l2, l2->num);
+    if (const json::Value* ssim = v.find("ssim");
+        ssim != nullptr && ssim->is_number() && ssim->num >= -1.0) {
+      min_ssim = std::min(min_ssim, ssim->num);
+      any_ssim = true;
+    }
+    if (suspect->boolean) {
+      ++suspects;
+      const json::Value* reason = v.find("reason");
+      by_reason[reason != nullptr && reason->is_string() ? reason->str : "?"]++;
+    }
+  }
+  os << "## Audit trail: " << path << "\n\n"
+     << records << " update record(s), " << suspects << " flagged suspect\n\n";
+  if (!by_reason.empty()) {
+    os << "| suspect reason | count |\n|---|---|\n";
+    for (const auto& [reason, count] : by_reason) {
+      os << "| " << reason << " | " << count << " |\n";
+    }
+    os << "\n";
+  }
+  os << "| source | count |\n|---|---|\n";
+  for (const auto& [source, count] : by_source) {
+    os << "| " << source << " | " << count << " |\n";
+  }
+  os << "\n| stat | value |\n|---|---|\n";
+  os << "| max L2 delta | " << json::number(max_l2) << " |\n";
+  if (any_ssim) os << "| min SSIM | " << json::number(min_ssim) << " |\n";
+  // The most-updated items are the likeliest push targets.
+  std::vector<std::pair<std::size_t, long long>> hot;
+  for (const auto& [it, count] : by_item) hot.emplace_back(count, it);
+  std::sort(hot.rbegin(), hot.rend());
+  if (hot.size() > 5) hot.resize(5);
+  for (const auto& [count, it] : hot) {
+    os << "| updates to item " << it << " | " << count << " |\n";
   }
   os << "\n";
 }
@@ -204,6 +297,7 @@ int main(int argc, char** argv) {
   const std::string metrics_path = args.get("metrics", "");
   const std::string runlog_path = args.get("runlog", "");
   const std::string trace_path = args.get("trace", "");
+  const std::string audit_path = args.get("audit", "");
   const std::string out_path = args.get("out", "");
 
   // "--check BENCH.json" parses the path as the switch's value; recover it
@@ -218,11 +312,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (bench_paths.empty()) {
+  // An audit (or trace) file alone is a valid report subject — the
+  // serve_obs gate validates the audit trail without a bench artifact.
+  if (bench_paths.empty() && audit_path.empty() && trace_path.empty()) {
     std::fprintf(stderr,
                  "usage: %s <BENCH_*.json...> [--check] [--baseline old.json]\n"
                  "       [--threshold 10%%] [--metrics metrics.json]\n"
-                 "       [--runlog run.jsonl] [--trace trace.json] [--out report.md]\n",
+                 "       [--runlog run.jsonl] [--trace trace.json]\n"
+                 "       [--audit audit.jsonl] [--out report.md]\n",
                  argv[0]);
     return 2;
   }
@@ -263,7 +360,7 @@ int main(int argc, char** argv) {
 
   // Regression gate against a baseline artifact.
   std::vector<std::string> regressions;
-  if (!baseline_path.empty()) {
+  if (!baseline_path.empty() && !reports.empty()) {
     try {
       const obs::BenchReport baseline =
           obs::parse_bench_report(json::parse(read_file(baseline_path)));
@@ -302,6 +399,16 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "taamr_report: %s\n", e.what());
     return 2;
+  }
+  if (!audit_path.empty()) {
+    try {
+      render_audit_section(md, read_file(audit_path), audit_path);
+    } catch (const std::exception& e) {
+      // A malformed audit record is a validation failure (exit 1), distinct
+      // from the IO/usage errors above: the gate asserts records parse.
+      std::fprintf(stderr, "taamr_report: %s\n", e.what());
+      return 1;
+    }
   }
 
   for (const std::string& flag : args.unused()) {

@@ -23,10 +23,13 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "data/image_gen.hpp"
+#include "metrics/image_quality.hpp"
+#include "obs/request_context.hpp"
 #include "recsys/bpr_mf.hpp"
 #include "serve/protocol.hpp"
 #include "serve/recommend_service.hpp"
@@ -42,19 +45,32 @@ struct Server {
   serve::ModelRegistry* registry = nullptr;
   serve::RecommendService* service = nullptr;
   std::mutex classifier_mutex;  // feature extraction mutates layer scratch
+  // Last rendered image per item, so an update_image push can be scored
+  // with SSIM against what it replaces — the perceptual fingerprint of an
+  // iterative adversarial loop (high SSIM, repeated pushes).
+  std::mutex image_mutex;
+  std::unordered_map<std::int64_t, Tensor> last_images;
   std::atomic<bool> shutting_down{false};
 
   std::string handle_line(const std::string& line);
 };
 
 std::string Server::handle_line(const std::string& line) {
+  obs::RequestContext ctx;
   try {
     const serve::Request req = serve::parse_request(line);
+    ctx.mark("parse");
     switch (req.op) {
       case serve::Op::kRecommend: {
         const serve::Recommendation rec =
-            service->recommend(req.model, req.user, req.n);
-        return serve::format_recommendation(rec);
+            service->recommend(req.model, req.user, req.n, &ctx);
+        std::string out = serve::format_recommendation(rec);
+        ctx.mark("serialize");
+        // The debug echo re-renders with the full stage attribution,
+        // including the serialize stage just closed.
+        if (req.debug) out = serve::format_recommendation(rec, &ctx);
+        ctx.publish();
+        return out;
       }
       case serve::Op::kUpdateFeatures: {
         const std::uint64_t epoch =
@@ -69,7 +85,7 @@ std::string Server::handle_line(const std::string& line) {
         const auto& taxonomy = data::fashion_taxonomy();
         const std::int32_t cat =
             dataset.item_category[static_cast<std::size_t>(req.item)];
-        const Tensor img = data::render_item_image(
+        Tensor img = data::render_item_image(
             taxonomy[static_cast<std::size_t>(cat)].style, req.seed,
             pipeline->config().image_config());
         Tensor batch(img.shape(), std::vector<float>(img.data(), img.data() + img.numel()));
@@ -79,8 +95,19 @@ std::string Server::handle_line(const std::string& line) {
           std::lock_guard<std::mutex> lock(classifier_mutex);
           feats = pipeline->classifier().features(batch);
         }
+        serve::RecommendService::UpdateOrigin origin;
+        origin.source = "update_image";
+        {
+          std::lock_guard<std::mutex> lock(image_mutex);
+          auto it = last_images.find(req.item);
+          if (it != last_images.end()) {
+            origin.ssim = metrics::ssim(it->second, img);
+          }
+          last_images.insert_or_assign(req.item, std::move(img));
+        }
         const std::uint64_t epoch = service->update_item_features(
-            req.item, {feats.data(), static_cast<std::size_t>(feats.dim(1))});
+            req.item, {feats.data(), static_cast<std::size_t>(feats.dim(1))},
+            origin);
         return serve::format_ok("\"epoch\":" + std::to_string(epoch));
       }
       case serve::Op::kSwapModel: {
@@ -95,6 +122,14 @@ std::string Server::handle_line(const std::string& line) {
         return serve::format_models(registry->names());
       case serve::Op::kStats:
         return serve::format_stats(service->stats());
+      case serve::Op::kMetrics: {
+        // Multi-line Prometheus exposition; ends with "# EOF" so clients
+        // know where the response stops. Drop the final newline — the
+        // writers below append one per response.
+        std::string text = service->metrics_text();
+        if (!text.empty() && text.back() == '\n') text.pop_back();
+        return text;
+      }
       case serve::Op::kShutdown:
         shutting_down.store(true);
         return serve::format_ok();
