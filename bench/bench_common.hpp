@@ -16,6 +16,10 @@
 //   TAAMR_THREADS      global thread-pool size (default: hardware)
 //   TAAMR_BENCH_DIR    directory for the BENCH_<name>.json artifact each
 //                      bench binary writes via bench::Reporter (default ".")
+//   TAAMR_PROFILE      sampling profiler (off|cpu|alloc|both); Reporter
+//                      construction touches obs::Profiler::global() so a
+//                      profiled bench covers the whole run and writes
+//                      TAAMR_PROFILE_OUT-prefixed .folded artifacts at exit
 //
 // Malformed TAAMR_SCALE / TAAMR_SEED values are rejected with a warning
 // and the default is used instead (they used to silently parse as 0, which
@@ -32,11 +36,13 @@
 #include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/procstat.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "tensor/cost.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_name.hpp"
 #include "util/thread_pool.hpp"
 
 namespace taamr::bench {
@@ -114,6 +120,10 @@ class Reporter {
  public:
   explicit Reporter(std::string name) {
     cost::enable();
+    // Arm the sampling profiler (no-op unless TAAMR_PROFILE is set) and
+    // name the driver thread so it roots its own flamegraph column.
+    obs::Profiler::global();
+    set_current_thread_name("bench-main");
     report_.name = std::move(name);
     report_.scale = env_scale();
     report_.seed = env_seed();

@@ -221,9 +221,15 @@ int main() {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(clients) + 1);
     for (std::int64_t c = 0; c < clients; ++c) {
-      threads.emplace_back(client_loop, c, telemetry);
+      threads.emplace_back([&client_loop, c, telemetry] {
+        set_current_thread_name("load-client" + std::to_string(c));
+        client_loop(c, telemetry);
+      });
     }
-    threads.emplace_back(controller);
+    threads.emplace_back([&controller] {
+      set_current_thread_name("load-control");
+      controller();
+    });
     for (std::thread& t : threads) t.join();
     const double seconds = timer.seconds();
     if (failed.load()) fail("load loop aborted");

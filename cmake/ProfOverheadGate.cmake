@@ -1,0 +1,199 @@
+# Sampling-profiler overhead gate, run via
+#   cmake -DMICRO_BIN=<micro_substrate> -DSERVE_BIN=<serve_load>
+#         -DPROF_BIN=<taamr_prof> -DWORK_DIR=<dir> -P ProfOverheadGate.cmake
+# Optional: -DMAX_DEGRADATION_PCT=<n> (default 5).
+#
+# Asserts that TAAMR_PROFILE=cpu at the default sampling rate costs at most
+# MAX_DEGRADATION_PCT on the two headline throughput numbers:
+#   * micro_substrate's gemm_gflops (threads=1) probe, and
+#   * serve_load's serve_qps_telemetry_off;
+# a failing pair is retried once before the gate trips (single-run bench
+# noise must not fail CI). A dedicated high-rate run must then produce a
+# .cpu.folded artifact that taamr_prof accepts, self-diffs clean, and
+# diffs RED (exit 1) against a synthetically inflated baseline.
+cmake_minimum_required(VERSION 3.16)
+
+foreach(var MICRO_BIN SERVE_BIN PROF_BIN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "ProfOverheadGate: -D${var}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED MAX_DEGRADATION_PCT)
+  set(MAX_DEGRADATION_PCT 5)
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Decimal string -> integer thousandths: math(EXPR) is 64-bit integer only,
+# so percentage compares run on scaled values. The "1${frac} - 1000" dance
+# keeps a fraction like "045" from being read with a leading zero.
+function(to_milli value out)
+  if(NOT value MATCHES "^([0-9]+)(\\.([0-9]*))?$")
+    message(FATAL_ERROR "ProfOverheadGate: cannot parse '${value}' as a decimal")
+  endif()
+  set(whole ${CMAKE_MATCH_1})
+  set(frac "${CMAKE_MATCH_3}000")
+  string(SUBSTRING "${frac}" 0 3 frac)
+  math(EXPR milli "${whole} * 1000 + 1${frac} - 1000")
+  set(${out} ${milli} PARENT_SCOPE)
+endfunction()
+
+# TRUE in ${out} when on_val >= off_val * (100 - MAX_DEGRADATION_PCT) / 100.
+function(within_budget off_val on_val out)
+  to_milli(${off_val} off_m)
+  to_milli(${on_val} on_m)
+  math(EXPR lhs "${on_m} * 100")
+  math(EXPR rhs "${off_m} * (100 - ${MAX_DEGRADATION_PCT})")
+  if(lhs LESS rhs)
+    set(${out} FALSE PARENT_SCOPE)
+  else()
+    set(${out} TRUE PARENT_SCOPE)
+  endif()
+endfunction()
+
+# Runs micro_substrate probe-only (benchmarks filtered out; the probe
+# section still books gemm_gflops) and extracts the threads=1 value.
+function(run_micro tag profile out_gflops)
+  set(dir "${WORK_DIR}/micro_${tag}")
+  file(MAKE_DIRECTORY "${dir}")
+  set(envs "TAAMR_BENCH_DIR=${dir}")
+  if(profile)
+    list(APPEND envs "TAAMR_PROFILE=cpu" "TAAMR_PROFILE_OUT=${dir}/prof")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${envs} ${MICRO_BIN} --benchmark_filter=^$
+    RESULT_VARIABLE rc
+    OUTPUT_FILE "${dir}/stdout.log"
+    ERROR_FILE "${dir}/stderr.log"
+  )
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ProfOverheadGate: micro_substrate (${tag}) failed, rc=${rc}")
+  endif()
+  file(READ "${dir}/BENCH_micro_substrate.json" text)
+  if(NOT text MATCHES "\"name\":\"gemm_gflops\",\"labels\":{\"threads\":\"1\"},\"value\":([0-9.]+)")
+    message(FATAL_ERROR "ProfOverheadGate: no gemm_gflops(threads=1) in micro_${tag} artifact")
+  endif()
+  set(${out_gflops} ${CMAKE_MATCH_1} PARENT_SCOPE)
+endfunction()
+
+# Runs the small-scale serve_load configuration (the serve_obs_gate sizing)
+# and extracts serve_qps_telemetry_off — the phase with the profiler as the
+# only extra instrumentation, so the off/on delta isolates SIGPROF cost.
+function(run_serve tag profile out_qps)
+  set(dir "${WORK_DIR}/serve_${tag}")
+  file(MAKE_DIRECTORY "${dir}")
+  set(envs "TAAMR_BENCH_DIR=${dir}" "TAAMR_SCALE=0.002"
+      "TAAMR_SERVE_CLIENTS=2" "TAAMR_SERVE_REQUESTS=150")
+  if(profile)
+    list(APPEND envs "TAAMR_PROFILE=cpu" "TAAMR_PROFILE_OUT=${dir}/prof")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${envs} ${SERVE_BIN}
+    WORKING_DIRECTORY "${dir}"
+    RESULT_VARIABLE rc
+    OUTPUT_FILE "${dir}/stdout.log"
+    ERROR_FILE "${dir}/stderr.log"
+    TIMEOUT 300
+  )
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ProfOverheadGate: serve_load (${tag}) failed, rc=${rc}")
+  endif()
+  file(READ "${dir}/BENCH_serve_load.json" text)
+  if(NOT text MATCHES "\"name\":\"serve_qps_telemetry_off\",\"labels\":{},\"value\":([0-9.]+)")
+    message(FATAL_ERROR "ProfOverheadGate: no serve_qps_telemetry_off in serve_${tag} artifact")
+  endif()
+  set(${out_qps} ${CMAKE_MATCH_1} PARENT_SCOPE)
+endfunction()
+
+# --- Overhead pairs: off vs TAAMR_PROFILE=cpu at the default rate ----------
+
+run_micro(off1 FALSE micro_off)
+run_micro(on1 TRUE micro_on)
+within_budget(${micro_off} ${micro_on} micro_ok)
+if(NOT micro_ok)
+  message(STATUS "micro pair out of budget (off=${micro_off} on=${micro_on} GFLOP/s); retrying once")
+  run_micro(off2 FALSE micro_off)
+  run_micro(on2 TRUE micro_on)
+  within_budget(${micro_off} ${micro_on} micro_ok)
+endif()
+if(NOT micro_ok)
+  message(FATAL_ERROR "ProfOverheadGate: gemm_gflops degraded beyond ${MAX_DEGRADATION_PCT}% with profiling on (off=${micro_off}, on=${micro_on})")
+endif()
+message(STATUS "micro_substrate: gemm_gflops off=${micro_off} on=${micro_on} (budget ${MAX_DEGRADATION_PCT}%)")
+
+run_serve(off1 FALSE serve_off)
+run_serve(on1 TRUE serve_on)
+within_budget(${serve_off} ${serve_on} serve_ok)
+if(NOT serve_ok)
+  message(STATUS "serve pair out of budget (off=${serve_off} on=${serve_on} qps); retrying once")
+  run_serve(off2 FALSE serve_off)
+  run_serve(on2 TRUE serve_on)
+  within_budget(${serve_off} ${serve_on} serve_ok)
+endif()
+if(NOT serve_ok)
+  message(FATAL_ERROR "ProfOverheadGate: serve qps degraded beyond ${MAX_DEGRADATION_PCT}% with profiling on (off=${serve_off}, on=${serve_on})")
+endif()
+message(STATUS "serve_load: qps off=${serve_off} on=${serve_on} (budget ${MAX_DEGRADATION_PCT}%)")
+
+# --- Artifact + diff checks on a dense high-rate profile -------------------
+
+set(prof_dir "${WORK_DIR}/micro_prof")
+file(MAKE_DIRECTORY "${prof_dir}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "TAAMR_BENCH_DIR=${prof_dir}"
+          "TAAMR_PROFILE=cpu"
+          "TAAMR_PROFILE_HZ=997"
+          "TAAMR_PROFILE_OUT=${prof_dir}/prof"
+          ${MICRO_BIN} --benchmark_filter=^$
+  RESULT_VARIABLE rc
+  OUTPUT_FILE "${prof_dir}/stdout.log"
+  ERROR_FILE "${prof_dir}/stderr.log"
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ProfOverheadGate: profiled micro_substrate failed, rc=${rc}")
+endif()
+set(folded "${prof_dir}/prof.cpu.folded")
+if(NOT EXISTS "${folded}")
+  message(FATAL_ERROR "ProfOverheadGate: ${folded} was not written — profiler captured no samples at 997 Hz")
+endif()
+
+execute_process(
+  COMMAND ${PROF_BIN} "${folded}" --top 5
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE top_out
+  ERROR_VARIABLE top_err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ProfOverheadGate: taamr_prof rejected ${folded} (rc=${rc}):\n${top_err}")
+endif()
+message(STATUS "profile top frames:\n${top_out}")
+
+# Self-diff must be clean...
+execute_process(
+  COMMAND ${PROF_BIN} "${folded}" --diff "${folded}"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ProfOverheadGate: self-diff reported a regression (rc=${rc})")
+endif()
+
+# ...and an inflated baseline must trip the gate: a synthetic hog frame in
+# the baseline deflates every real frame's baseline share, so the current
+# profile shows >threshold growth and taamr_prof must exit 1 (not 0, and
+# not 2 = usage/parse error).
+file(READ "${folded}" folded_text)
+file(WRITE "${WORK_DIR}/inflated_baseline.folded"
+     "${folded_text}synthetic_hog_frame 100000000\n")
+execute_process(
+  COMMAND ${PROF_BIN} "${folded}" --diff "${WORK_DIR}/inflated_baseline.folded"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET
+)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "ProfOverheadGate: diff vs inflated baseline exited ${rc}, want 1")
+endif()
+
+message(STATUS "ProfOverheadGate: PASS (overhead within ${MAX_DEGRADATION_PCT}%, folded artifact valid, diff gate trips red)")

@@ -1,0 +1,80 @@
+// Collapsed-stack ("folded") profile documents: strict parsing, canonical
+// emission, shard merging, per-frame self/total rollups, and baseline diffs
+// with a regression verdict. Shared by the in-process profiler, the
+// taamr_prof CLI and taamr_report --profile; unit-tested directly (mirrors
+// the trace_stats split), so the tools stay thin shells.
+//
+// Format: one stack per line, `frame;frame;frame <weight>`, root frame
+// first, weight = sample count (CPU) or estimated bytes (alloc). Frames may
+// contain spaces (demangled C++ names); the weight is the text after the
+// LAST space — the same rule flamegraph.pl and speedscope apply. Lines
+// starting with '#' are comments (the serving profile op terminates its
+// response with "# EOF").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace taamr::obs {
+
+struct FoldedProfile {
+  // stack ("root;mid;leaf") -> accumulated weight.
+  std::map<std::string, std::uint64_t> stacks;
+
+  std::uint64_t total_weight() const;
+  bool empty() const { return stacks.empty(); }
+  void add(const std::string& stack, std::uint64_t weight);
+};
+
+// Parses a folded document. Rejects — with a std::runtime_error naming the
+// line — a weight that is missing, non-numeric or overflowing, an empty
+// stack, and empty frames (";;", leading or trailing ';'). Blank and '#'
+// comment lines are skipped. Wholly empty documents (no stack lines) are
+// rejected too: that is the classic symptom of a truncated or never-written
+// profile, and silently summarizing it would report "no hotspots".
+FoldedProfile parse_folded(const std::string& text);
+
+// Canonical emission: one line per stack, sorted by stack string, no
+// comments. parse_folded(to_folded(p)) == p.
+std::string to_folded(const FoldedProfile& p);
+
+// Adds every stack of `from` into `into` (shard merge).
+void merge_folded(FoldedProfile& into, const FoldedProfile& from);
+
+// Per-frame rollup. self = weight of stacks whose LEAF is the frame; total
+// = weight of every stack containing the frame (counted once per stack, so
+// recursion does not double-book).
+struct FrameStat {
+  std::string frame;
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+
+// Ranked by self weight descending (ties: frame name ascending); at most
+// top_k entries (0 = all).
+std::vector<FrameStat> top_frames(const FoldedProfile& p, std::size_t top_k);
+
+// Baseline comparison: a frame regresses when its share of total self
+// weight grew by more than `threshold` (a fraction: 0.05 = five percentage
+// points) against the baseline. Shares — not absolute weights — so a longer
+// run with proportionally identical hotspots diffs clean. Ranked by share
+// growth descending.
+struct ProfileDelta {
+  std::string frame;
+  double base_share = 0.0;  // fraction of baseline self weight
+  double cur_share = 0.0;   // fraction of current self weight
+};
+
+std::vector<ProfileDelta> diff_folded(const FoldedProfile& baseline,
+                                      const FoldedProfile& current,
+                                      double threshold);
+
+// Buckets one stack into the cost-accounting kernel families by frame
+// substrings (gemm/matmul -> "gemm", im2col/conv -> "im2col", ...); "other"
+// when nothing matches. The alloc profiler uses this so folded heap
+// profiles aggregate by the tensor-op family that allocated.
+std::string kernel_family_for_stack(const std::string& stack);
+
+}  // namespace taamr::obs

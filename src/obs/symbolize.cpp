@@ -1,0 +1,161 @@
+#include "obs/symbolize.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <elf.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace taamr::obs {
+
+namespace {
+
+std::string demangle(const char* mangled) {
+  int status = 0;
+  char* out = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  std::string name = (status == 0 && out != nullptr) ? out : mangled;
+  std::free(out);
+  return name;
+}
+
+std::string hex_of(std::uintptr_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%zx", static_cast<std::size_t>(v));
+  return buf;
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+// Anchor for the executable's load bias: any function we know lives in the
+// main binary. dladdr on it yields dli_fbase == the ELF load bias for PIE
+// (ET_DYN) executables.
+void anchor_fn() {}
+
+}  // namespace
+
+std::string tidy_symbol(std::string name) {
+  // Cut the parameter list at the first '(' outside template angle
+  // brackets, with two exceptions: "(anonymous namespace)" can appear at
+  // any qualification level ("taamr::simd::(anonymous namespace)::gemm")
+  // and its parenthesis is part of the name, and "operator()" keeps its
+  // call parens.
+  constexpr const char* kAnon = "(anonymous namespace)";
+  const std::size_t anon_len = std::strlen(kAnon);
+  int angle_depth = 0;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '<') {
+      ++angle_depth;
+    } else if (c == '>') {
+      if (angle_depth > 0) --angle_depth;
+    } else if (c == '(' && angle_depth == 0 && i > 0) {
+      if (name.compare(i, anon_len, kAnon) == 0) {
+        i += anon_len - 1;
+        continue;
+      }
+      if (i >= 8 && name.compare(i - 8, 10, "operator()") == 0) {
+        ++i;  // past the ')'
+        continue;
+      }
+      name.resize(i);
+      break;
+    }
+  }
+  // ';' is the folded-stack frame separator; never emit it inside a frame.
+  std::replace(name.begin(), name.end(), ';', ':');
+  return name;
+}
+
+Symbolizer::Symbolizer() {
+  std::ifstream exe("/proc/self/exe", std::ios::binary);
+  if (!exe) return;
+
+  Elf64_Ehdr eh{};
+  exe.read(reinterpret_cast<char*>(&eh), sizeof(eh));
+  if (!exe || std::memcmp(eh.e_ident, ELFMAG, SELFMAG) != 0 ||
+      eh.e_ident[EI_CLASS] != ELFCLASS64) {
+    return;
+  }
+  if (eh.e_type == ET_DYN) {
+    Dl_info info{};
+    if (dladdr(reinterpret_cast<void*>(&anchor_fn), &info) != 0) {
+      bias_ = reinterpret_cast<std::uintptr_t>(info.dli_fbase);
+    }
+  }
+
+  std::vector<Elf64_Shdr> sections(eh.e_shnum);
+  exe.seekg(static_cast<std::streamoff>(eh.e_shoff));
+  exe.read(reinterpret_cast<char*>(sections.data()),
+           static_cast<std::streamsize>(sections.size() * sizeof(Elf64_Shdr)));
+  if (!exe) return;
+
+  for (const Elf64_Shdr& sh : sections) {
+    if (sh.sh_type != SHT_SYMTAB || sh.sh_link >= sections.size()) continue;
+    const Elf64_Shdr& strtab = sections[sh.sh_link];
+    std::vector<char> strings(strtab.sh_size);
+    exe.seekg(static_cast<std::streamoff>(strtab.sh_offset));
+    exe.read(strings.data(), static_cast<std::streamsize>(strings.size()));
+    const std::size_t count = sh.sh_size / sizeof(Elf64_Sym);
+    std::vector<Elf64_Sym> symbols(count);
+    exe.seekg(static_cast<std::streamoff>(sh.sh_offset));
+    exe.read(reinterpret_cast<char*>(symbols.data()),
+             static_cast<std::streamsize>(count * sizeof(Elf64_Sym)));
+    if (!exe) return;
+    for (const Elf64_Sym& s : symbols) {
+      if (ELF64_ST_TYPE(s.st_info) != STT_FUNC || s.st_value == 0) continue;
+      if (s.st_name >= strings.size()) continue;
+      const char* raw = strings.data() + s.st_name;
+      if (raw[0] == '\0') continue;
+      syms_.push_back(Sym{static_cast<std::uintptr_t>(s.st_value),
+                          static_cast<std::uintptr_t>(s.st_size), raw});
+    }
+  }
+  std::sort(syms_.begin(), syms_.end(),
+            [](const Sym& a, const Sym& b) { return a.addr < b.addr; });
+}
+
+std::string Symbolizer::resolve(void* pc) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(pc);
+
+  // .symtab of the executable first: covers local (anonymous-namespace,
+  // lambda) symbols that dladdr cannot see.
+  if (!syms_.empty() && addr >= bias_) {
+    const std::uintptr_t rel = addr - bias_;
+    auto it = std::upper_bound(
+        syms_.begin(), syms_.end(), rel,
+        [](std::uintptr_t v, const Sym& s) { return v < s.addr; });
+    if (it != syms_.begin()) {
+      const Sym& s = *std::prev(it);
+      // Accept zero-size symbols (assembly stubs) only when close; a sized
+      // symbol must actually cover the pc.
+      const bool covers = s.size > 0 ? rel < s.addr + s.size
+                                     : rel - s.addr < 4096;
+      if (covers) return tidy_symbol(demangle(s.name.c_str()));
+    }
+  }
+
+  Dl_info info{};
+  if (dladdr(pc, &info) != 0) {
+    if (info.dli_sname != nullptr) return tidy_symbol(demangle(info.dli_sname));
+    if (info.dli_fname != nullptr) {
+      return std::string(basename_of(info.dli_fname)) + "+" +
+             hex_of(addr - reinterpret_cast<std::uintptr_t>(info.dli_fbase));
+    }
+  }
+  return hex_of(addr);
+}
+
+const std::string& Symbolizer::name_for(void* pc) {
+  auto it = cache_.find(pc);
+  if (it == cache_.end()) it = cache_.emplace(pc, resolve(pc)).first;
+  return it->second;
+}
+
+}  // namespace taamr::obs

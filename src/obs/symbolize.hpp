@@ -1,0 +1,59 @@
+// Offline symbolization of code addresses in the current process.
+//
+// dladdr alone is not enough for profiling this repo: the hot leaves (the
+// SIMD kernel tables, parallel_for lambdas) are anonymous-namespace / local
+// symbols that never reach .dynsym, and dladdr silently misattributes them
+// to whatever exported symbol happens to precede them in the layout. The
+// Symbolizer therefore reads the full .symtab of /proc/self/exe once (the
+// repo links everything statically into each binary, so one table covers
+// all taamr code), adjusts for the PIE load bias, and only falls back to
+// dladdr for addresses outside the executable (libc, libstdc++, vdso).
+//
+// Names are demangled (abi::__cxa_demangle) and tidied for collapsed-stack
+// output: the parameter list is cut at the first top-level '(' — template
+// angle brackets are respected, and an "(anonymous namespace)::" prefix
+// survives — and ';' (the folded-stack separator) is replaced with ':'.
+//
+// Everything here runs in normal (non-signal) context at profile-fold time;
+// lookups allocate and cache freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace taamr::obs {
+
+// Cuts a demangled name down to a readable frame label (see above). Exposed
+// for tests.
+std::string tidy_symbol(std::string name);
+
+class Symbolizer {
+ public:
+  // Loads the executable's .symtab. Binaries without one (stripped) degrade
+  // to dladdr-only resolution.
+  Symbolizer();
+
+  // Resolved, demangled, tidied name for a code address; module+offset or
+  // a hex literal when no symbol covers it. Cached per distinct pc.
+  const std::string& name_for(void* pc);
+
+  // Number of function symbols loaded from the executable (tests).
+  std::size_t symtab_size() const { return syms_.size(); }
+
+ private:
+  struct Sym {
+    std::uintptr_t addr = 0;
+    std::uintptr_t size = 0;
+    std::string name;
+  };
+
+  std::string resolve(void* pc) const;
+
+  std::vector<Sym> syms_;  // sorted by addr
+  std::uintptr_t bias_ = 0;
+  std::unordered_map<void*, std::string> cache_;
+};
+
+}  // namespace taamr::obs

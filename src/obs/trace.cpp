@@ -7,6 +7,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_name.hpp"
 
 namespace taamr::obs {
 
@@ -67,6 +68,7 @@ Trace::ThreadBuf& Trace::local_buf() {
   // the owning thread exits.
   thread_local std::shared_ptr<ThreadBuf> buf = [this] {
     auto b = std::make_shared<ThreadBuf>();
+    b->os_tid = current_tid();
     std::lock_guard<std::mutex> lock(mutex_);
     b->tid = static_cast<int>(bufs_.size());
     bufs_.push_back(b);
@@ -95,6 +97,20 @@ std::string Trace::to_json() const {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   std::lock_guard<std::mutex> lock(mutex_);
+  // One thread_name metadata event per named thread, so viewers label the
+  // rows. Names are resolved at merge time: a worker that named itself
+  // after its first event still labels correctly. The "ts":0 field is
+  // redundant for "M" events but keeps every event uniform for the strict
+  // trace_stats parser.
+  for (const auto& buf : bufs_) {
+    const std::string name = thread_name_for_tid(buf->os_tid);
+    if (name.empty()) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,"
+       << "\"tid\":" << buf->tid << ",\"args\":{\"name\":\""
+       << json::escape(name) << "\"}}";
+  }
   for (const auto& buf : bufs_) {
     std::lock_guard<std::mutex> buf_lock(buf->mutex);
     for (const Event& e : buf->events) {

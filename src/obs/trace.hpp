@@ -81,7 +81,8 @@ class Trace {
   struct ThreadBuf {
     mutable std::mutex mutex;  // appends race with to_json() merges
     std::vector<Event> events;
-    int tid = 0;
+    int tid = 0;      // compact per-trace id used in the JSON
+    long os_tid = 0;  // kernel tid, for thread-name lookup at merge time
   };
 
   ThreadBuf& local_buf();

@@ -93,6 +93,15 @@ Request parse_request(const std::string& line) {
     req.op = Op::kStats;
   } else if (op == "metrics") {
     req.op = Op::kMetrics;
+  } else if (op == "profile") {
+    req.op = Op::kProfile;
+    if (const Value* secs = root.find("seconds"); secs != nullptr) {
+      if (!secs->is_number() || !std::isfinite(secs->num) || secs->num <= 0.0) {
+        throw std::runtime_error(
+            "request field \"seconds\" must be a positive number");
+      }
+      req.seconds = secs->num;
+    }
   } else if (op == "shutdown") {
     req.op = Op::kShutdown;
   } else {

@@ -9,6 +9,7 @@
 //   {"op":"update_features","item":5,"features":[0.1, ...]}
 //   {"op":"update_image","item":5,"seed":42}      // re-render + re-extract
 //   {"op":"swap_model","model":"vbpr","kind":"vbpr","path":"ckpt.bin"}
+//   {"op":"profile","seconds":2}                  // on-demand CPU window
 //   {"op":"models"} | {"op":"stats"} | {"op":"metrics"} | {"op":"shutdown"}
 //
 // Responses always carry "ok"; failures carry "error" with the exception
@@ -17,9 +18,12 @@
 // with "debug":true they additionally echo the request id and per-stage
 // latency attribution under "debug".
 //
-// "metrics" is the one multi-line response: the Prometheus text exposition
-// of every registered metric (rolling SLO gauges refreshed at scrape time),
-// terminated by a "# EOF" line that doubles as the framing marker.
+// "metrics" and "profile" are the multi-line responses. "metrics" is the
+// Prometheus text exposition of every registered metric (rolling SLO gauges
+// refreshed at scrape time); "profile" samples the live process for
+// `seconds` (default 1, clamped to [0.05, 60]) and returns the window's
+// collapsed CPU stacks, flamegraph-ready. Both terminate with a "# EOF"
+// line that doubles as the framing marker.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +43,7 @@ enum class Op {
   kModels,
   kStats,
   kMetrics,
+  kProfile,
   kShutdown,
 };
 
@@ -53,6 +58,7 @@ struct Request {
   std::uint64_t seed = 0;      // update_image
   std::string kind;            // swap_model: "vbpr" | "bpr_mf"
   std::string path;            // swap_model checkpoint path
+  double seconds = 1.0;        // profile: sampling window length
 };
 
 // Parses one request line. Throws std::runtime_error with a descriptive

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "tensor/cost.hpp"
 
 namespace taamr {
@@ -62,7 +63,12 @@ Tensor& Tensor::operator=(Tensor&& other) noexcept {
 }
 
 void Tensor::track_alloc() const {
-  cost::track_alloc(static_cast<std::int64_t>(data_.capacity() * sizeof(float)));
+  const auto bytes =
+      static_cast<std::int64_t>(data_.capacity() * sizeof(float));
+  cost::track_alloc(bytes);
+  // Independent of cost accounting: allocation profiling samples stacks
+  // even on runs where metrics are off (TAAMR_PROFILE=alloc alone).
+  prof::on_alloc(bytes);
 }
 
 void Tensor::track_free() const {

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <ctime>
 
+#include "util/thread_name.hpp"
+
 namespace taamr {
 
 bool parse_log_level(std::string_view name, LogLevel& out) {
@@ -82,9 +84,17 @@ void Logger::log(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(level_)) return;
   char ts[48];
   format_timestamp(ts, sizeof(ts));
-  const int tid = thread_tag();
+  // Named threads (pool workers, serve acceptor/connections, bench mains)
+  // log under their name; anonymous threads keep the sequential tag.
+  const char* name = current_thread_name();
+  char tag[32];
+  if (name[0] != '\0') {
+    std::snprintf(tag, sizeof(tag), "%s", name);
+  } else {
+    std::snprintf(tag, sizeof(tag), "t%02d", thread_tag());
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  std::fprintf(stderr, "[%s %s t%02d] %.*s\n", ts, level_tag(level), tid,
+  std::fprintf(stderr, "[%s %s %s] %.*s\n", ts, level_tag(level), tag,
                static_cast<int>(message.size()), message.data());
 }
 

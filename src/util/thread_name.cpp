@@ -1,0 +1,59 @@
+#include "util/thread_name.hpp"
+
+#include <pthread.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace taamr {
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+// tid -> full name. Leaked-singleton style (function-local static) so a
+// thread that names itself during static destruction still finds it alive.
+std::map<long, std::string>& registry() {
+  static auto* m = new std::map<long, std::string>();
+  return *m;
+}
+
+thread_local char tls_name[64] = {0};
+
+}  // namespace
+
+long current_tid() {
+  thread_local const long tid = static_cast<long>(::syscall(SYS_gettid));
+  return tid;
+}
+
+void set_current_thread_name(const std::string& name) {
+  // The kernel cap is 16 bytes including the NUL; silently truncate there
+  // but keep the full name for logs/profiles.
+  char kernel_name[16];
+  std::strncpy(kernel_name, name.c_str(), sizeof(kernel_name) - 1);
+  kernel_name[sizeof(kernel_name) - 1] = '\0';
+  pthread_setname_np(pthread_self(), kernel_name);
+
+  std::strncpy(tls_name, name.c_str(), sizeof(tls_name) - 1);
+  tls_name[sizeof(tls_name) - 1] = '\0';
+
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[current_tid()] = name;
+}
+
+const char* current_thread_name() { return tls_name; }
+
+std::string thread_name_for_tid(long tid) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(tid);
+  return it == registry().end() ? std::string() : it->second;
+}
+
+}  // namespace taamr

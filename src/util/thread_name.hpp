@@ -1,0 +1,36 @@
+// Human-readable thread names, visible in three places at once:
+//   * the kernel (pthread_setname_np, so `top -H`, gdb and /proc agree),
+//   * a process-wide tid -> name registry the sampling profiler and the
+//     Chrome trace writer resolve offline (never from a signal handler),
+//   * a thread_local cache the logger reads on its hot path.
+//
+// ThreadPool workers name themselves "taamr-p<pool>-w<i>", the serve
+// acceptor "serve-accept", connection handlers "serve-conn<k>", and bench
+// drivers name main + their client threads; anything unnamed falls back to
+// the compact sequential tid tag the logger always printed.
+#pragma once
+
+#include <string>
+
+namespace taamr {
+
+// Kernel thread id of the calling thread (Linux gettid; the value the
+// profiler's signal handler keys its ring buffers on).
+long current_tid();
+
+// Names the calling thread. Applies pthread_setname_np (truncated to the
+// kernel's 15-character limit), caches the full name thread-locally, and
+// registers it under current_tid() for offline lookup. Safe to call again
+// to rename.
+void set_current_thread_name(const std::string& name);
+
+// The calling thread's full name, or "" when unnamed. Lock-free (a
+// thread_local read), so hot paths like the logger can call it per line.
+const char* current_thread_name();
+
+// Offline lookup by kernel tid (profiler folding, trace metadata). Returns
+// "" for unknown tids. Takes the registry mutex — never call from a signal
+// handler.
+std::string thread_name_for_tid(long tid);
+
+}  // namespace taamr

@@ -8,6 +8,7 @@
 
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/thread_name.hpp"
 
 namespace taamr {
 
@@ -62,11 +63,13 @@ ThreadPool::ThreadPool(std::size_t num_threads, bool force_telemetry) {
   // worker threads may safely record into them right up to join().
   obs::Trace& trace = obs::Trace::global();
   (void)trace;
+  // Every pool gets an id (not just telemetered ones): worker thread names
+  // — "taamr-p<pool>-w<i>" — carry it into logs, traces and profiles.
+  static std::atomic<int> next_pool_id{0};
+  const int pool_id = next_pool_id.fetch_add(1);
   telemetry_ = force_telemetry || obs::telemetry_enabled();
   if (telemetry_) {
-    static std::atomic<int> next_pool_id{0};
-    const obs::Labels labels = {
-        {"pool", std::to_string(next_pool_id.fetch_add(1))}};
+    const obs::Labels labels = {{"pool", std::to_string(pool_id)}};
     auto& reg = obs::MetricsRegistry::global();
     tasks_total_ = &reg.counter("thread_pool_tasks_total", labels);
     queue_depth_ = &reg.gauge("thread_pool_queue_depth", labels);
@@ -81,7 +84,11 @@ ThreadPool::ThreadPool(std::size_t num_threads, bool force_telemetry) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, pool_id, i] {
+      set_current_thread_name("taamr-p" + std::to_string(pool_id) + "-w" +
+                              std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

@@ -1,0 +1,185 @@
+// Collapsed-stack document round-trips: emit -> parse -> merge -> diff,
+// strict rejection of malformed lines (mirroring the trace_stats
+// hardening), frame rollups, and the kernel-family classifier used for
+// allocation bucketing.
+#include "obs/profile_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace taamr::obs {
+namespace {
+
+TEST(ProfilerFolded, ParsesBasicDocument) {
+  const FoldedProfile p = parse_folded(
+      "main;gemm 10\n"
+      "main;im2col 3\n"
+      "# a comment line\n"
+      "\n"
+      "worker;gemm 5\n");
+  EXPECT_EQ(p.stacks.size(), 3u);
+  EXPECT_EQ(p.total_weight(), 18u);
+  EXPECT_EQ(p.stacks.at("main;gemm"), 10u);
+}
+
+TEST(ProfilerFolded, FramesMayContainSpaces) {
+  // Demangled C++ names carry spaces; only the LAST space separates the
+  // weight (the flamegraph.pl rule).
+  const FoldedProfile p =
+      parse_folded("main;taamr::simd::(anonymous namespace)::gemm_panel 7\n");
+  EXPECT_EQ(p.total_weight(), 7u);
+  EXPECT_EQ(
+      p.stacks.at("main;taamr::simd::(anonymous namespace)::gemm_panel"), 7u);
+}
+
+TEST(ProfilerFolded, DuplicateStacksAccumulate) {
+  const FoldedProfile p = parse_folded("a;b 1\na;b 2\n");
+  EXPECT_EQ(p.stacks.size(), 1u);
+  EXPECT_EQ(p.stacks.at("a;b"), 3u);
+}
+
+TEST(ProfilerFolded, RoundTripsThroughCanonicalEmit) {
+  FoldedProfile p;
+  p.add("main;taamr::ops::gemm_nn_blocked;kernel with spaces", 41);
+  p.add("worker;leaf", 1);
+  const FoldedProfile again = parse_folded(to_folded(p));
+  EXPECT_EQ(again.stacks, p.stacks);
+}
+
+TEST(ProfilerFolded, RejectsMalformedLinesWithLineNumber) {
+  // No weight at all.
+  try {
+    parse_folded("main;gemm\n");
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  // Non-numeric weight.
+  EXPECT_THROW(parse_folded("main;gemm ten\n"), std::runtime_error);
+  // Negative weight.
+  EXPECT_THROW(parse_folded("main;gemm -3\n"), std::runtime_error);
+  // Empty frame inside the stack.
+  EXPECT_THROW(parse_folded("main;;gemm 3\n"), std::runtime_error);
+  // Empty frame at a boundary.
+  EXPECT_THROW(parse_folded(";gemm 3\n"), std::runtime_error);
+  EXPECT_THROW(parse_folded("gemm; 3\n"), std::runtime_error);
+  // Weight overflowing 64 bits.
+  EXPECT_THROW(parse_folded("main 99999999999999999999999\n"),
+               std::runtime_error);
+  // Malformed line deep in the document names the right line.
+  try {
+    parse_folded("a 1\nb 2\nc;; 3\n");
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ProfilerFolded, RejectsEmptyDocument) {
+  // An empty or comment-only profile is a truncated-write symptom, not a
+  // clean "no hotspots" result.
+  EXPECT_THROW(parse_folded(""), std::runtime_error);
+  EXPECT_THROW(parse_folded("# only comments\n\n"), std::runtime_error);
+}
+
+TEST(ProfilerFolded, MergeAccumulatesShards) {
+  FoldedProfile a = parse_folded("main;gemm 10\nmain;io 2\n");
+  const FoldedProfile b = parse_folded("main;gemm 5\nworker;gemm 1\n");
+  merge_folded(a, b);
+  EXPECT_EQ(a.stacks.at("main;gemm"), 15u);
+  EXPECT_EQ(a.stacks.at("main;io"), 2u);
+  EXPECT_EQ(a.stacks.at("worker;gemm"), 1u);
+  EXPECT_EQ(a.total_weight(), 18u);
+}
+
+TEST(ProfilerFolded, TopFramesRanksBySelfWeight) {
+  const FoldedProfile p = parse_folded(
+      "main;a;leaf1 10\n"
+      "main;a;leaf2 6\n"
+      "main;leaf1 4\n");
+  const auto ranked = top_frames(p, 0);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].frame, "leaf1");
+  EXPECT_EQ(ranked[0].self, 14u);   // leaf of stacks 1 and 3
+  EXPECT_EQ(ranked[0].total, 14u);
+  // "a" has no self weight but totals both of its stacks.
+  for (const auto& f : ranked) {
+    if (f.frame == "a") {
+      EXPECT_EQ(f.self, 0u);
+      EXPECT_EQ(f.total, 16u);
+    }
+    if (f.frame == "main") {
+      EXPECT_EQ(f.total, 20u);
+    }
+  }
+  // top_k truncates.
+  EXPECT_EQ(top_frames(p, 2).size(), 2u);
+}
+
+TEST(ProfilerFolded, RecursionCountsOncePerStack) {
+  const FoldedProfile p = parse_folded("main;f;f;f 9\n");
+  for (const auto& fr : top_frames(p, 0)) {
+    if (fr.frame == "f") {
+      EXPECT_EQ(fr.total, 9u);  // not 27
+      EXPECT_EQ(fr.self, 9u);
+    }
+  }
+}
+
+TEST(ProfilerDiff, CleanWhenSharesMatch) {
+  // Same shape, different absolute sample counts: a longer run must not
+  // diff as a regression.
+  const FoldedProfile base = parse_folded("main;gemm 80\nmain;io 20\n");
+  const FoldedProfile cur = parse_folded("main;gemm 800\nmain;io 200\n");
+  EXPECT_TRUE(diff_folded(base, cur, 0.05).empty());
+}
+
+TEST(ProfilerDiff, FlagsGrownFrame) {
+  const FoldedProfile base = parse_folded("main;gemm 80\nmain;io 20\n");
+  const FoldedProfile cur = parse_folded("main;gemm 60\nmain;io 40\n");
+  const auto regressions = diff_folded(base, cur, 0.05);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].frame, "io");
+  EXPECT_NEAR(regressions[0].base_share, 0.20, 1e-9);
+  EXPECT_NEAR(regressions[0].cur_share, 0.40, 1e-9);
+}
+
+TEST(ProfilerDiff, NewFrameCountsFromZeroShare) {
+  const FoldedProfile base = parse_folded("main;gemm 100\n");
+  const FoldedProfile cur = parse_folded("main;gemm 80\nmain;newcost 20\n");
+  const auto regressions = diff_folded(base, cur, 0.05);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].frame, "newcost");
+  EXPECT_EQ(regressions[0].base_share, 0.0);
+}
+
+TEST(ProfilerDiff, ThresholdIsExclusive) {
+  const FoldedProfile base = parse_folded("main;a 50\nmain;b 50\n");
+  const FoldedProfile cur = parse_folded("main;a 45\nmain;b 55\n");
+  // b grew by exactly 5 points: not > 0.05.
+  EXPECT_TRUE(diff_folded(base, cur, 0.05).empty());
+  EXPECT_EQ(diff_folded(base, cur, 0.04).size(), 1u);
+}
+
+TEST(ProfilerKernelFamily, ClassifiesByLeafMostMatch) {
+  EXPECT_EQ(kernel_family_for_stack(
+                "main;taamr::ops::matmul;taamr::simd::gemm_panel"),
+            "gemm");
+  // An im2col path that bottoms out in gemm books as gemm (leaf-most wins),
+  // matching the cost accountant's attribution.
+  EXPECT_EQ(kernel_family_for_stack("main;taamr::ops::im2col;memcpy"),
+            "im2col");
+  EXPECT_EQ(kernel_family_for_stack(
+                "main;taamr::nn::Conv2d::forward;taamr::ops::gemm_nn_blocked"),
+            "gemm");
+  EXPECT_EQ(kernel_family_for_stack("main;taamr::ops::softmax"), "reduction");
+  EXPECT_EQ(kernel_family_for_stack("main;taamr::recsys::Ranker::rank"),
+            "recsys_score");
+  EXPECT_EQ(kernel_family_for_stack("main;taamr::ops::axpy"), "elementwise");
+  EXPECT_EQ(kernel_family_for_stack("main;std::vector<float>::resize"),
+            "other");
+}
+
+}  // namespace
+}  // namespace taamr::obs

@@ -25,6 +25,7 @@
 
 #include "obs/bench_report.hpp"
 #include "obs/json.hpp"
+#include "obs/profile_stats.hpp"
 #include "obs/trace_stats.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -210,6 +211,23 @@ void render_trace_section(std::ostream& os, const obs::TraceDocument& doc) {
   }
 }
 
+// Top-K self-weight table from a collapsed-stack CPU/alloc profile, the
+// sampling counterpart of the span-based trace section.
+void render_profile_section(std::ostream& os, const obs::FoldedProfile& p,
+                            const std::string& path) {
+  os << "## Profile: top frames by self weight (" << path << ")\n\n";
+  os << p.total_weight() << " total weight across " << p.stacks.size()
+     << " distinct stack(s)\n\n";
+  os << "| frame | self | self % | total |\n|---|---|---|---|\n";
+  const double total = static_cast<double>(p.total_weight());
+  for (const auto& f : obs::top_frames(p, 10)) {
+    os << "| " << f.frame << " | " << f.self << " | "
+       << Table::fmt(100.0 * static_cast<double>(f.self) / total, 2) << "% | "
+       << f.total << " |\n";
+  }
+  os << "\n";
+}
+
 // Validates and summarizes an attack-forensics audit JSONL file. Throws on
 // any malformed or schema-violating line (the serve_obs gate runs this to
 // assert the records parse), so a truncated or interleaved write fails loud.
@@ -298,6 +316,7 @@ int main(int argc, char** argv) {
   const std::string runlog_path = args.get("runlog", "");
   const std::string trace_path = args.get("trace", "");
   const std::string audit_path = args.get("audit", "");
+  const std::string profile_path = args.get("profile", "");
   const std::string out_path = args.get("out", "");
 
   // "--check BENCH.json" parses the path as the switch's value; recover it
@@ -312,14 +331,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // An audit (or trace) file alone is a valid report subject — the
+  // An audit, trace or profile file alone is a valid report subject — the
   // serve_obs gate validates the audit trail without a bench artifact.
-  if (bench_paths.empty() && audit_path.empty() && trace_path.empty()) {
+  if (bench_paths.empty() && audit_path.empty() && trace_path.empty() &&
+      profile_path.empty()) {
     std::fprintf(stderr,
                  "usage: %s <BENCH_*.json...> [--check] [--baseline old.json]\n"
                  "       [--threshold 10%%] [--metrics metrics.json]\n"
                  "       [--runlog run.jsonl] [--trace trace.json]\n"
-                 "       [--audit audit.jsonl] [--out report.md]\n",
+                 "       [--audit audit.jsonl] [--profile prof.folded]\n"
+                 "       [--out report.md]\n",
                  argv[0]);
     return 2;
   }
@@ -395,6 +416,10 @@ int main(int argc, char** argv) {
     }
     if (!trace_path.empty()) {
       render_trace_section(md, obs::parse_trace_document(read_file(trace_path)));
+    }
+    if (!profile_path.empty()) {
+      render_profile_section(md, obs::parse_folded(read_file(profile_path)),
+                             profile_path);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "taamr_report: %s\n", e.what());

@@ -29,12 +29,14 @@
 #include "core/pipeline.hpp"
 #include "data/image_gen.hpp"
 #include "metrics/image_quality.hpp"
+#include "obs/profiler.hpp"
 #include "obs/request_context.hpp"
 #include "recsys/bpr_mf.hpp"
 #include "serve/protocol.hpp"
 #include "serve/recommend_service.hpp"
 #include "util/args.hpp"
 #include "util/logging.hpp"
+#include "util/thread_name.hpp"
 
 namespace {
 
@@ -130,6 +132,16 @@ std::string Server::handle_line(const std::string& line) {
         if (!text.empty() && text.back() == '\n') text.pop_back();
         return text;
       }
+      case serve::Op::kProfile: {
+        // On-demand CPU window from the live process: collapsed stacks,
+        // "# EOF"-framed like metrics. The handling connection thread
+        // sleeps for the window; other connections keep serving (and are
+        // what the samples catch).
+        std::string text =
+            obs::Profiler::global().profile_window_folded(req.seconds);
+        text += "# EOF";
+        return text;
+      }
       case serve::Op::kShutdown:
         shutting_down.store(true);
         return serve::format_ok();
@@ -174,6 +186,8 @@ void serve_connection(Server& server, int fd) {
 }
 
 int serve_tcp(Server& server, int port) {
+  // The main thread becomes the acceptor for the rest of the process.
+  set_current_thread_name("serve-accept");
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     std::cerr << "taamr_serve: socket() failed: " << std::strerror(errno) << "\n";
@@ -206,7 +220,11 @@ int serve_tcp(Server& server, int port) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) break;
     if (server.shutting_down.load()) { ::close(fd); break; }
-    workers.emplace_back([&server, fd] { serve_connection(server, fd); });
+    const std::size_t conn_id = workers.size();
+    workers.emplace_back([&server, fd, conn_id] {
+      set_current_thread_name("serve-conn" + std::to_string(conn_id));
+      serve_connection(server, fd);
+    });
   }
   ::close(listen_fd);
   for (std::thread& t : workers) t.join();
@@ -217,6 +235,11 @@ int serve_tcp(Server& server, int port) {
 
 int main(int argc, char** argv) {
   using namespace taamr;
+  set_current_thread_name("main");
+  // Construct the profiler before any work so a TAAMR_PROFILE run covers
+  // pipeline prepare + training + serving, and on-demand profile ops have
+  // an instance whose artifacts land at exit.
+  obs::Profiler::global();
   ArgParser args(argc, argv);
 
   core::PipelineConfig config;
