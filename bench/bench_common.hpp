@@ -150,6 +150,12 @@ class Reporter {
     report_.metrics.push_back({std::move(name), std::move(labels), value});
   }
 
+  // Bench-specific config entry, emitted as an extra key of the artifact's
+  // config object (e.g. serve_load's requested Zipf alpha).
+  void add_config(std::string name, double value) {
+    report_.extra_config.emplace_back(std::move(name), value);
+  }
+
   // Finalizes counters and writes the artifact. Idempotent; returns the
   // path written.
   std::string write() {

@@ -1,53 +1,87 @@
-// Closed-loop load generator for the online serving engine (src/serve/):
-// boots a small pipeline, registers VBPR + BPR-MF in a ModelRegistry, then
-// hammers RecommendService from TAAMR_SERVE_CLIENTS concurrent threads with
-// a skewed user distribution while a controller thread performs hot feature
-// swaps mid-load. Emits BENCH_serve_load.json via bench::Reporter with
-// serve_qps, serve_latency_p50/p90/p99_ms (from the serve_request_seconds
-// histogram) and serve_cache_hit_rate — the regression gate compares two
-// runs through taamr_report --baseline (see serve_load_gate in
-// bench/CMakeLists.txt).
+// Closed-loop load generator for the sharded serving engine (src/serve/):
+// builds the serving-scale synthetic dataset (data::amazon_serve_spec —
+// TAAMR_SERVE_USERS over a compact TAAMR_SERVE_ITEMS hot catalog), trains
+// VBPR + BPR-MF on random gaussian features, then drives Zipf-skewed user
+// traffic over real TCP loopback connections through the epoll front door
+// (serve/event_loop.hpp) into a ShardRouter, sweeping the shard count.
 //
-// The load runs twice with an identical request schedule:
+// Part 1 — shard sweep. For each S in TAAMR_SERVE_SHARD_SWEEP (default
+// "1,2,4,8"): a fresh ModelRegistry + ShardRouter(S) + EventLoop,
+// TAAMR_SERVE_CLIENTS closed-loop TCP clients each sending
+// TAAMR_SERVE_REQUESTS newline-framed recommend requests with users drawn
+// from a shared Zipf(TAAMR_SERVE_ZIPF_ALPHA) sampler (rank = user id, the
+// same rank law amazon_serve_spec uses for item popularity). A controller
+// connection performs hot feature swaps at 25/50/75% of the load — pushed
+// through the wire as update_features (floats survive the %.9g JSON
+// round-trip exactly) — and verifies served lists for probe users spread
+// across shards against a golden recompute of the swapped-in model: zero
+// mismatches tolerated, mid-load, cross-shard. Shed responses
+// ({"error":"overloaded"}) are counted and reported, never silently
+// dropped; the leg fails if the drain-then-close shutdown times out.
+// Per-leg metrics: serve_qps{shards=S}, serve_latency_p50/p99_ms{shards=S},
+// serve_shed{shards=S} — cmake/ServeShardGate.cmake pins the 4-vs-1
+// scaling on hosts with enough cores (serve_hw_concurrency records what
+// this host had).
+//
+// Part 2 — telemetry overhead (unchanged contract; the serve_obs_gate and
+// prof_overhead_gate consume these metrics). The load runs twice against a
+// single-shard router with an identical request schedule:
 //   phase A — telemetry off: tracing disabled, no request contexts;
-//   phase B — telemetry on: per-request RequestContext (stage attribution),
-//             tracing re-enabled if configured, audit trail if configured.
+//   phase B — telemetry on: per-request RequestContext, tracing re-enabled
+//             if configured, audit trail if configured.
 // The cache is cleared between phases so both start cold. Phase B is the
-// measured run (its stats deltas feed the report); phase A contributes
-// serve_qps_telemetry_off, and the floored percentage difference lands in
-// serve_telemetry_overhead_pct — the serve_obs_gate asserts it stays
-// within 10%. The floor (1%) keeps the self-compare regression gate from
-// seeing huge *relative* drift between two tiny absolute overheads.
+// measured run; phase A contributes serve_qps_telemetry_off, and the
+// floored percentage difference lands in serve_telemetry_overhead_pct —
+// the serve_obs_gate asserts it stays within 10%. The floor (1%) keeps the
+// self-compare regression gate from seeing huge *relative* drift between
+// two tiny absolute overheads.
 //
-// Correctness is asserted inline, not just measured:
-//   * every response is canonically ordered (score desc, id asc), free of
-//     the user's training items, and consistent with its stamped epoch;
-//   * after each hot swap, the served list for a set of probe users must
-//     equal a golden recompute against the swapped-in model (no stale or
-//     torn lists), and at least one probe list must actually change.
+// Correctness is asserted inline in both parts, not just measured: every
+// response is canonically ordered (score desc, id asc), free of the user's
+// training items, consistent with its stamped epoch, and in request order
+// on its connection (the event loop's reorder map).
 //
-// Extra knobs: TAAMR_SERVE_CLIENTS (default 4), TAAMR_SERVE_REQUESTS per
-// client (default 300), plus the TAAMR_SERVE_* service knobs read by
-// ServeConfig::from_env.
+// Knobs: TAAMR_SERVE_USERS (default 20000), TAAMR_SERVE_ITEMS (2048),
+// TAAMR_SERVE_TRAIN_EPOCHS (3), TAAMR_SERVE_ZIPF_ALPHA (1.0),
+// TAAMR_SERVE_SHARD_SWEEP ("1,2,4,8"), TAAMR_SERVE_CLIENTS (4),
+// TAAMR_SERVE_REQUESTS per client (300), plus the TAAMR_SERVE_* service
+// and event-loop knobs read by ServeConfig / EventLoopConfig ::from_env.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
 #include "bench_common.hpp"
-#include "core/pipeline.hpp"
+#include "data/amazon_synth.hpp"
+#include "obs/json.hpp"
 #include "obs/request_context.hpp"
 #include "recsys/bpr_mf.hpp"
 #include "recsys/ranker.hpp"
-#include "serve/recommend_service.hpp"
+#include "recsys/vbpr.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/protocol.hpp"
+#include "serve/shard_router.hpp"
 
 namespace {
 
 using namespace taamr;
+
+void fail(const std::string& what) {
+  std::cerr << "serve_load: FAIL: " << what << "\n";
+  std::exit(1);
+}
 
 std::int64_t env_count(const char* name, std::int64_t fallback) {
   if (const char* s = std::getenv(name)) {
@@ -57,6 +91,36 @@ std::int64_t env_count(const char* name, std::int64_t fallback) {
     log_warn() << "ignoring malformed " << name << "='" << s << "'";
   }
   return fallback;
+}
+
+double env_real(const char* name, double fallback) {
+  if (const char* s = std::getenv(name)) {
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end != s && *end == '\0' && std::isfinite(v) && v >= 0.0) return v;
+    log_warn() << "ignoring malformed " << name << "='" << s << "'";
+  }
+  return fallback;
+}
+
+std::vector<std::int64_t> env_shard_sweep() {
+  std::string s = "1,2,4,8";
+  if (const char* e = std::getenv("TAAMR_SERVE_SHARD_SWEEP")) s = e;
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(pos, comma - pos);
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || v <= 0) {
+      fail("malformed TAAMR_SERVE_SHARD_SWEEP token '" + tok + "'");
+    }
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  return out;
 }
 
 // Golden top-n through the exact arithmetic path the service uses
@@ -74,9 +138,126 @@ std::vector<recsys::ScoredItem> golden_topn(const data::ImplicitDataset& dataset
   return recsys::top_n_from_row(row, n, /*drop_masked=*/true);
 }
 
-void fail(const std::string& what) {
-  std::cerr << "serve_load: FAIL: " << what << "\n";
-  std::exit(1);
+// Canonical order + no training items: a torn or stale list trips one of
+// these.
+void check_served_list(const data::ImplicitDataset& dataset, std::int64_t user,
+                       const std::vector<recsys::ScoredItem>& items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (dataset.user_interacted(user, items[i].item)) {
+      fail("train item served to user " + std::to_string(user));
+    }
+    if (i > 0) {
+      const auto& prev = items[i - 1];
+      const auto& cur = items[i];
+      if (cur.score > prev.score ||
+          (cur.score == prev.score && cur.item <= prev.item)) {
+        fail("non-canonical order for user " + std::to_string(user));
+      }
+    }
+  }
+}
+
+// Blocking loopback client speaking the newline-framed protocol: one
+// request line out, one response line back (responses on a connection
+// arrive in request order — the event loop's ordering contract).
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) fail("client socket() failed");
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval tv{};
+    tv.tv_sec = 60;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      fail("client connect() failed");
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  std::string request(const std::string& line) {
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n =
+          ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) fail("client send() failed");
+      off += static_cast<std::size_t>(n);
+    }
+    return read_line();
+  }
+
+ private:
+  std::string read_line() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) fail("client recv() failed (timeout or peer close)");
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct WireRec {
+  bool overloaded = false;
+  std::int64_t user = -1;
+  std::uint64_t feature_epoch = 0;
+  std::vector<recsys::ScoredItem> items;
+};
+
+WireRec parse_wire_response(const std::string& text) {
+  WireRec rec;
+  obs::json::Value root;
+  try {
+    root = obs::json::parse(text);
+  } catch (const std::exception& e) {
+    fail(std::string("malformed response JSON: ") + e.what() + ": " + text);
+  }
+  const obs::json::Value* ok = root.find("ok");
+  if (ok == nullptr) fail("response missing \"ok\": " + text);
+  if (!ok->boolean) {
+    const obs::json::Value* err = root.find("error");
+    if (err != nullptr && err->str == "overloaded") {
+      rec.overloaded = true;
+      return rec;
+    }
+    fail("request failed: " + text);
+  }
+  rec.user = static_cast<std::int64_t>(root.find("user")->num);
+  rec.feature_epoch = static_cast<std::uint64_t>(root.find("feature_epoch")->num);
+  for (const obs::json::Value& item : root.find("items")->array) {
+    // %.9g round-trips any float exactly through double, so casting the
+    // parsed score back to float reproduces the served bits.
+    rec.items.push_back(
+        {static_cast<std::int32_t>(item.find("item")->num),
+         static_cast<float>(item.find("score")->num)});
+  }
+  return rec;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
 }
 
 }  // namespace
@@ -84,39 +265,278 @@ void fail(const std::string& what) {
 int main() {
   bench::Reporter reporter("serve_load");
 
-  core::PipelineConfig config;
-  config.dataset_name = "Amazon Men";
-  config.scale = bench::env_scale();
-  config.seed = bench::env_seed();
-  config.cache_dir = bench::env_cache_dir();
-  // Small CNN: the bench measures the serving engine, not feature training.
-  config.image_size = 16;
-  config.cnn_epochs = 2;
-  config.cnn_images_per_category = 32;
-  config.vbpr.epochs = 30;
-
-  core::Pipeline pipeline(config);
-  pipeline.prepare();
-  const data::ImplicitDataset& dataset = pipeline.dataset();
-
-  serve::ModelRegistry registry(dataset);
-  registry.register_model("vbpr",
-                          std::shared_ptr<const recsys::Vbpr>(pipeline.train_vbpr()),
-                          /*visual=*/true);
-  {
-    Rng rng(config.seed + 17);
-    recsys::BprMfConfig bpr_config;
-    bpr_config.epochs = 30;
-    auto bpr = std::make_shared<recsys::BprMf>(dataset, bpr_config, rng);
-    bpr->fit(dataset, rng);
-    registry.register_model("bpr_mf", std::move(bpr), /*visual=*/false);
-  }
-  serve::RecommendService service(dataset, registry, pipeline.clean_features());
-
+  const std::int64_t num_users = env_count("TAAMR_SERVE_USERS", 20000);
+  const std::int64_t num_items = env_count("TAAMR_SERVE_ITEMS", 2048);
+  const std::int64_t train_epochs = env_count("TAAMR_SERVE_TRAIN_EPOCHS", 3);
+  const double zipf_alpha = env_real("TAAMR_SERVE_ZIPF_ALPHA", 1.0);
   const std::int64_t clients = env_count("TAAMR_SERVE_CLIENTS", 4);
   const std::int64_t per_client = env_count("TAAMR_SERVE_REQUESTS", 300);
+  const std::vector<std::int64_t> sweep = env_shard_sweep();
   const std::int64_t total = clients * per_client;
   const std::int64_t top_n = 10;
+
+  data::SynthSpec spec = data::amazon_serve_spec();
+  spec.num_users = num_users;
+  spec.num_items = num_items;
+  spec.seed = bench::env_seed();
+  spec.validate();
+
+  Stopwatch setup_timer;
+  const data::ImplicitDataset dataset = data::generate_synthetic_dataset(spec);
+
+  // Random gaussian features: the bench measures the serving engine, not
+  // feature quality — what matters is that VBPR's visual path has real
+  // per-item rows to rebuild on every hot swap.
+  Rng rng(spec.seed + 7);
+  Tensor features({dataset.num_items, 32});
+  for (std::int64_t i = 0; i < features.numel(); ++i) {
+    features.data()[i] = rng.gaussian_f(0.0f, 1.0f);
+  }
+
+  recsys::VbprConfig vbpr_cfg;
+  vbpr_cfg.epochs = train_epochs;
+  auto vbpr = std::make_shared<recsys::Vbpr>(dataset, features, vbpr_cfg, rng);
+  vbpr->fit(dataset, rng);
+  recsys::BprMfConfig bpr_cfg;
+  bpr_cfg.epochs = train_epochs;
+  auto bpr = std::make_shared<recsys::BprMf>(dataset, bpr_cfg, rng);
+  bpr->fit(dataset, rng);
+  std::cout << "serve_load: setup " << dataset.num_users << " users, "
+            << dataset.num_items << " items, " << train_epochs
+            << " train epochs in " << Table::fmt(setup_timer.seconds(), 1)
+            << "s\n";
+
+  // Traffic skew: the same Zipf rank law the dataset generator uses for
+  // item popularity, here over user ids (rank = id, user 0 hottest).
+  ZipfSampler zipf(static_cast<std::size_t>(dataset.num_users), zipf_alpha);
+  const auto top1pct =
+      static_cast<std::int64_t>(std::max<std::int64_t>(1, dataset.num_users / 100));
+  reporter.add_config("zipf_alpha", zipf_alpha);
+  reporter.add_config("zipf_top1pct_share_expected",
+                      zipf.top_share(static_cast<std::size_t>(top1pct)));
+
+  std::atomic<std::uint64_t> hot_requests{0};   // to the top-1% user ranks
+  std::atomic<std::uint64_t> sweep_requests{0};
+
+  // ---- Part 1: TCP shard sweep through the epoll front door ----------------
+
+  for (const std::int64_t num_shards : sweep) {
+    serve::ModelRegistry registry(dataset);
+    registry.register_model("vbpr", vbpr, /*visual=*/true);
+    registry.register_model("bpr_mf", bpr, /*visual=*/false);
+    serve::ShardRouterConfig router_cfg = serve::ShardRouterConfig::from_env();
+    router_cfg.num_shards = num_shards;
+    serve::ShardRouter router(dataset, registry, features, router_cfg);
+
+    serve::EventLoopConfig loop_cfg = serve::EventLoopConfig::from_env();
+    loop_cfg.port = 0;
+    serve::EventLoop loop(
+        loop_cfg, router.num_shards(),
+        [&router](const std::string& line) {
+          const std::int64_t user = serve::peek_user(line);
+          return user >= 0 ? router.shard_of(user) : std::size_t{0};
+        },
+        [&router](std::size_t, const std::string& line) -> std::string {
+          try {
+            const serve::Request req = serve::parse_request(line);
+            switch (req.op) {
+              case serve::Op::kRecommend:
+                return serve::format_recommendation(
+                    router.recommend(req.model, req.user, req.n));
+              case serve::Op::kUpdateFeatures:
+                return serve::format_ok(
+                    "\"epoch\":" +
+                    std::to_string(router.update_item_features(req.item, req.features)));
+              case serve::Op::kStats:
+                return serve::format_stats(router.stats());
+              default:
+                return serve::format_error("serve_load: unsupported op");
+            }
+          } catch (const std::exception& e) {
+            return serve::format_error(e.what());
+          }
+        });
+    loop.start();
+
+    // Probe users spread across shards, so post-swap verification exercises
+    // revalidation on shards other than the one that carried the update.
+    std::vector<std::int64_t> probes;
+    {
+      std::vector<char> seen(router.num_shards(), 0);
+      const std::size_t want = std::min<std::size_t>(router.num_shards(), 4);
+      for (std::int64_t u = 0; u < dataset.num_users && probes.size() < want; ++u) {
+        const std::size_t shard = router.shard_of(u);
+        if (!seen[shard]) {
+          seen[shard] = 1;
+          probes.push_back(u);
+        }
+      }
+    }
+
+    std::atomic<std::int64_t> done{0};
+    std::vector<std::vector<double>> latencies(static_cast<std::size_t>(clients));
+    Stopwatch leg_timer;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients) + 1);
+    for (std::int64_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        set_current_thread_name("load-client" + std::to_string(c));
+        LineClient client(loop.port());
+        Rng crng(spec.seed * 1000 + static_cast<std::uint64_t>(c) * 131 +
+                 static_cast<std::uint64_t>(num_shards));
+        auto& lats = latencies[static_cast<std::size_t>(c)];
+        lats.reserve(static_cast<std::size_t>(per_client));
+        for (std::int64_t r = 0; r < per_client; ++r) {
+          const auto user = static_cast<std::int64_t>(zipf.sample(crng));
+          const std::string model = crng.uniform() < 0.2 ? "bpr_mf" : "vbpr";
+          const std::string req = "{\"op\":\"recommend\",\"model\":\"" + model +
+                                  "\",\"user\":" + std::to_string(user) +
+                                  ",\"n\":" + std::to_string(top_n) + "}";
+          const auto t0 = std::chrono::steady_clock::now();
+          const std::string resp = client.request(req);
+          lats.push_back(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+          const WireRec rec = parse_wire_response(resp);
+          if (!rec.overloaded) {
+            if (rec.user != user) {
+              fail("response user mismatch — out-of-order response on a connection");
+            }
+            check_served_list(dataset, user, rec.items);
+          }
+          if (user < top1pct) hot_requests.fetch_add(1);
+          sweep_requests.fetch_add(1);
+          done.fetch_add(1);
+        }
+      });
+    }
+
+    // Controller: three hot feature swaps spread through the load, pushed
+    // over the wire and verified — served lists for every probe user must
+    // equal a golden recompute of the swapped-in model, mid-load.
+    threads.emplace_back([&] {
+      set_current_thread_name("load-control");
+      LineClient client(loop.port());
+      std::int64_t swaps_done = 0;
+      for (const double frac : {0.25, 0.5, 0.75}) {
+        const auto threshold =
+            static_cast<std::int64_t>(frac * static_cast<double>(total));
+        while (done.load() < threshold) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+
+        const auto vbpr_before = registry.get("vbpr");
+        std::vector<std::vector<recsys::ScoredItem>> before;
+        before.reserve(probes.size());
+        for (const std::int64_t p : probes) {
+          before.push_back(golden_topn(dataset, *vbpr_before.model, p, top_n));
+        }
+        if (before[0].empty()) fail("probe user has an empty list");
+
+        // Shove the probe user's current #1 item far away in feature space.
+        const std::int32_t victim = before[0][0].item;
+        std::vector<float> feats = router.feature_store().item_features(victim);
+        for (float& f : feats) {
+          f = -f - 50.0f * static_cast<float>(swaps_done + 1);
+        }
+        std::string update = "{\"op\":\"update_features\",\"item\":" +
+                             std::to_string(victim) + ",\"features\":[";
+        for (std::size_t i = 0; i < feats.size(); ++i) {
+          if (i > 0) update += ',';
+          update += obs::json::number(static_cast<double>(feats[i]));
+        }
+        update += "]}";
+        const obs::json::Value ack = obs::json::parse(client.request(update));
+        if (!ack.find("ok")->boolean) fail("update_features rejected over TCP");
+        const auto epoch = static_cast<std::uint64_t>(ack.find("epoch")->num);
+
+        const auto vbpr_after = registry.get("vbpr");
+        if (vbpr_after.feature_epoch != epoch) {
+          fail("registry missed the feature epoch");
+        }
+        bool any_changed = false;
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+          const auto golden =
+              golden_topn(dataset, *vbpr_after.model, probes[i], top_n);
+          WireRec served;
+          do {  // a shed probe under overload is retried, not skipped
+            served = parse_wire_response(client.request(
+                "{\"op\":\"recommend\",\"model\":\"vbpr\",\"user\":" +
+                std::to_string(probes[i]) + ",\"n\":" + std::to_string(top_n) +
+                "}"));
+          } while (served.overloaded);
+          if (served.items != golden) {
+            fail("post-swap served list diverges from golden recompute (user " +
+                 std::to_string(probes[i]) + ", " +
+                 std::to_string(router.num_shards()) + " shards)");
+          }
+          if (served.feature_epoch != epoch) {
+            fail("post-swap response stamped with a stale feature epoch");
+          }
+          if (golden != before[i]) any_changed = true;
+        }
+        if (!any_changed) fail("hot feature swap changed no probe list");
+        ++swaps_done;
+      }
+    });
+
+    for (std::thread& t : threads) t.join();
+    const double leg_seconds = leg_timer.seconds();
+
+    loop.request_shutdown();
+    if (loop.join() != 0) fail("event loop drain timed out");
+    const serve::EventLoop::Stats loop_stats = loop.stats();
+    if (loop_stats.responses != loop_stats.requests) {
+      fail("drain lost responses (" + std::to_string(loop_stats.responses) +
+           " of " + std::to_string(loop_stats.requests) + ")");
+    }
+
+    std::vector<double> lat;
+    for (auto& v : latencies) lat.insert(lat.end(), v.begin(), v.end());
+    std::sort(lat.begin(), lat.end());
+    const double qps =
+        leg_seconds > 0.0 ? static_cast<double>(total) / leg_seconds : 0.0;
+
+    const obs::Labels labels = {{"shards", std::to_string(num_shards)}};
+    reporter.add_metric("serve_qps", labels, qps);
+    reporter.add_metric("serve_latency_p50_ms", labels, percentile(lat, 0.5) * 1e3);
+    reporter.add_metric("serve_latency_p99_ms", labels, percentile(lat, 0.99) * 1e3);
+    reporter.add_metric("serve_shed", labels,
+                        static_cast<double>(loop_stats.shed));
+    reporter.add_examples(static_cast<double>(total));
+
+    std::cout << "serve_load: [shards=" << num_shards << "] " << total
+              << " requests from " << clients << " TCP clients in "
+              << Table::fmt(leg_seconds, 2) << "s — " << Table::fmt(qps, 0)
+              << " qps, p50 " << Table::fmt(percentile(lat, 0.5) * 1e3, 3)
+              << "ms, p99 " << Table::fmt(percentile(lat, 0.99) * 1e3, 3)
+              << "ms, " << loop_stats.shed << " shed, " << loop_stats.accepted
+              << " connections, clean drain\n";
+  }
+
+  const double achieved_share =
+      sweep_requests.load() > 0
+          ? static_cast<double>(hot_requests.load()) /
+                static_cast<double>(sweep_requests.load())
+          : 0.0;
+  reporter.add_config("zipf_top1pct_share_achieved", achieved_share);
+  reporter.add_metric("serve_zipf_top1pct_share", {}, achieved_share);
+  reporter.add_metric("serve_hw_concurrency", {},
+                      static_cast<double>(std::thread::hardware_concurrency()));
+
+  // ---- Part 2: two-phase telemetry overhead on a single-shard router -------
+
+  serve::ModelRegistry registry(dataset);
+  registry.register_model("vbpr", vbpr, /*visual=*/true);
+  registry.register_model("bpr_mf", bpr, /*visual=*/false);
+  serve::ShardRouterConfig solo_cfg = serve::ShardRouterConfig::from_env();
+  solo_cfg.num_shards = 1;
+  serve::ShardRouter service(dataset, registry, features, solo_cfg);
+
+  // A hot pool keeps the cache hit rate and the coalescer busy at any
+  // dataset size (the sweep above covers the full-skew regime).
+  const std::int64_t hot_pool = std::min<std::int64_t>(dataset.num_users, 512);
   const std::vector<std::int64_t> probes = {0, 1, 2};
 
   std::atomic<std::int64_t> done{0};
@@ -125,47 +545,27 @@ int main() {
   auto client_loop = [&](std::int64_t id, bool telemetry) {
     // Same seed in both phases: identical request schedules, so the only
     // difference the overhead comparison sees is the telemetry itself.
-    Rng rng(config.seed * 1000 + static_cast<std::uint64_t>(id));
+    Rng crng(spec.seed * 1000 + static_cast<std::uint64_t>(id));
     for (std::int64_t r = 0; r < per_client && !failed.load(); ++r) {
-      const double u01 = rng.uniform();
-      const auto user = static_cast<std::int64_t>(u01 * u01 *
-                                                  static_cast<double>(dataset.num_users));
-      const std::string model = rng.uniform() < 0.2 ? "bpr_mf" : "vbpr";
+      const double u01 = crng.uniform();
+      const auto user =
+          static_cast<std::int64_t>(u01 * u01 * static_cast<double>(hot_pool));
+      const std::string model = crng.uniform() < 0.2 ? "bpr_mf" : "vbpr";
       serve::Recommendation rec;
       try {
         if (telemetry) {
           obs::RequestContext ctx;
-          rec = service.recommend(model, std::min(user, dataset.num_users - 1),
-                                  top_n, &ctx);
+          rec = service.recommend(model, std::min(user, hot_pool - 1), top_n, &ctx);
           ctx.publish();
         } else {
-          rec = service.recommend(model, std::min(user, dataset.num_users - 1),
-                                  top_n);
+          rec = service.recommend(model, std::min(user, hot_pool - 1), top_n);
         }
       } catch (const std::exception& e) {
         failed.store(true);
         std::cerr << "serve_load: request threw: " << e.what() << "\n";
         break;
       }
-      // Canonical order + no training items: a torn or stale list would
-      // trip one of these.
-      for (std::size_t i = 0; i < rec.items.size(); ++i) {
-        if (dataset.user_interacted(rec.user, rec.items[i].item)) {
-          failed.store(true);
-          std::cerr << "serve_load: train item served to user " << rec.user << "\n";
-          break;
-        }
-        if (i > 0) {
-          const auto& prev = rec.items[i - 1];
-          const auto& cur = rec.items[i];
-          if (cur.score > prev.score ||
-              (cur.score == prev.score && cur.item <= prev.item)) {
-            failed.store(true);
-            std::cerr << "serve_load: non-canonical order for user " << rec.user << "\n";
-            break;
-          }
-        }
-      }
+      check_served_list(dataset, rec.user, rec.items);
       done.fetch_add(1);
     }
   };
@@ -189,7 +589,6 @@ int main() {
       }
       if (before[0].empty()) fail("probe user has an empty list");
 
-      // Shove the probe user's current #1 item far away in feature space.
       const std::int32_t victim = before[0][0].item;
       std::vector<float> feats = service.feature_store().item_features(victim);
       for (float& f : feats) f = -f - 50.0f * static_cast<float>(swaps_done + 1);

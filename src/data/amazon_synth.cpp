@@ -31,6 +31,9 @@ void SynthSpec::validate() const {
       focus_categories > static_cast<std::int64_t>(category_weights.size())) {
     throw std::invalid_argument("SynthSpec: bad focus_categories");
   }
+  if (item_pop_zipf_alpha < 0.0) {
+    throw std::invalid_argument("SynthSpec: negative item_pop_zipf_alpha");
+  }
 }
 
 ImplicitDataset generate_synthetic_dataset(const SynthSpec& spec) {
@@ -79,10 +82,23 @@ ImplicitDataset generate_synthetic_dataset(const SynthSpec& spec) {
     ds.item_category[static_cast<std::size_t>(moved)] = c;
   }
 
+  // Zipf mode: replace the log-normal draws with the shared rank law
+  // (zipf_weights) — the r-th item assigned to each category is its r-th
+  // hottest. serve_load samples users from the same family, so item and
+  // user skew in a load test come from one definition.
+  if (spec.item_pop_zipf_alpha > 0.0) {
+    for (std::int32_t c = 0; c < k; ++c) {
+      auto& pop = category_item_pop[static_cast<std::size_t>(c)];
+      if (!pop.empty()) pop = zipf_weights(pop.size(), spec.item_pop_zipf_alpha);
+    }
+  }
+
+  // Categories that drew zero items (tiny scales) keep an empty sampler;
+  // the interaction loop below skips them via its pool.empty() guard.
   std::vector<AliasTable> item_samplers(static_cast<std::size_t>(k));
   for (std::int32_t c = 0; c < k; ++c) {
-    item_samplers[static_cast<std::size_t>(c)].build(
-        category_item_pop[static_cast<std::size_t>(c)]);
+    const auto& pop = category_item_pop[static_cast<std::size_t>(c)];
+    if (!pop.empty()) item_samplers[static_cast<std::size_t>(c)].build(pop);
   }
 
   // --- users: focus categories + popularity-proportional item choice ------
@@ -253,12 +269,31 @@ SynthSpec amazon_women_spec(double scale) {
   return spec;
 }
 
+SynthSpec amazon_serve_spec(double scale) {
+  SynthSpec spec;
+  spec.name = "Amazon Serve";
+  spec.num_users = scaled(1000000, scale);
+  spec.num_items = scaled(8192, scale);
+  // Light per-user history: serving traffic is dominated by lurkers, and a
+  // shallow train set keeps 1M-user generation + training tractable.
+  spec.min_interactions = 2;
+  spec.mean_extra_interactions = 1.4;
+  spec.category_weights = men_category_weights();
+  spec.item_pop_zipf_alpha = 1.05;  // hot-item storms: top ~1% of a category
+                                    // carries most of its demand
+  spec.seed = 20260809;
+  return spec;
+}
+
 SynthSpec spec_by_name(const std::string& dataset_name, double scale) {
   if (dataset_name == "Amazon Men" || dataset_name == "amazon_men") {
     return amazon_men_spec(scale);
   }
   if (dataset_name == "Amazon Women" || dataset_name == "amazon_women") {
     return amazon_women_spec(scale);
+  }
+  if (dataset_name == "Amazon Serve" || dataset_name == "amazon_serve") {
+    return amazon_serve_spec(scale);
   }
   throw std::invalid_argument("spec_by_name: unknown dataset '" + dataset_name + "'");
 }

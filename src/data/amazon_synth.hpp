@@ -37,6 +37,12 @@ struct SynthSpec {
   // group (see data::category_groups). 0 = independent category tastes.
   double group_affinity = 0.7;
   double item_pop_sigma = 1.0;           // log-normal within-category popularity
+  // > 0 replaces the log-normal within-category popularity with a Zipf(alpha)
+  // rank law (util/rng.hpp zipf_weights, shared with bench/serve_load's user
+  // sampler): the r-th item assigned to a category gets weight 1/(r+1)^alpha.
+  // This is the serving-scale "hot item" shape — a few items soak up most of
+  // the traffic regardless of catalog size.
+  double item_pop_zipf_alpha = 0.0;
   std::uint64_t seed = 1;
 
   void validate() const;
@@ -52,6 +58,11 @@ inline constexpr double kTestScale = 0.004;
 
 SynthSpec amazon_men_spec(double scale = kBenchScale);
 SynthSpec amazon_women_spec(double scale = kBenchScale);
+// Serving-scale preset: scale = 1.0 is 1M users over a compact 8K-item hot
+// catalog with Zipf item popularity — the traffic shape bench/serve_load
+// drives through the sharded front door. Users dominate (traffic realism);
+// the catalog stays GEMM-friendly so one host scores it per request.
+SynthSpec amazon_serve_spec(double scale = 1.0);
 SynthSpec spec_by_name(const std::string& dataset_name, double scale = kBenchScale);
 
 // The paper's Table I reference statistics (for side-by-side printing).

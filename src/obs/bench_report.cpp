@@ -29,7 +29,11 @@ std::string BenchReport::to_json() const {
      << json::escape(name) << "\",\n\"config\":{"
      << "\"scale\":" << json::number(scale) << ",\"seed\":" << seed
      << ",\"threads\":" << threads << ",\"git_sha\":\"" << json::escape(git_sha)
-     << "\",\"build_type\":\"" << json::escape(build_type) << "\"},\n"
+     << "\",\"build_type\":\"" << json::escape(build_type) << '"';
+  for (const auto& [key, value] : extra_config) {
+    os << ",\"" << json::escape(key) << "\":" << json::number(value);
+  }
+  os << "},\n"
      << "\"wall_seconds\":" << json::number(wall_seconds) << ",\n"
      << "\"throughput\":{"
      << "\"examples\":" << json::number(examples)

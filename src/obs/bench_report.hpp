@@ -63,6 +63,11 @@ struct BenchReport {
   std::int64_t threads = 0;
   std::string git_sha = "unknown";
   std::string build_type = "unknown";
+  // Bench-specific numeric config entries, emitted as extra keys of the
+  // config object (e.g. serve_load's Zipf alpha and achieved skew).
+  // Validation only requires the fixed keys, so extras are forward- and
+  // backward-compatible; comparison ignores them.
+  std::vector<std::pair<std::string, double>> extra_config;
 
   // perf
   double wall_seconds = 0.0;

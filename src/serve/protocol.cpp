@@ -110,6 +110,25 @@ Request parse_request(const std::string& line) {
   return req;
 }
 
+std::int64_t peek_user(const std::string& line) {
+  const std::size_t key = line.find("\"user\"");
+  if (key == std::string::npos) return -1;
+  std::size_t pos = key + 6;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  if (pos >= line.size() || line[pos] != ':') return -1;
+  ++pos;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  std::int64_t value = 0;
+  bool any = false;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + (line[pos] - '0');
+    any = true;
+    ++pos;
+    if (value < 0) return -1;  // overflow
+  }
+  return any ? value : -1;
+}
+
 std::string format_recommendation(const Recommendation& rec,
                                   const obs::RequestContext* ctx) {
   std::string out = "{\"ok\":true,\"user\":" + std::to_string(rec.user) +

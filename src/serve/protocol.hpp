@@ -66,6 +66,13 @@ struct Request {
 // turns that into an error response instead of dying).
 Request parse_request(const std::string& line);
 
+// Cheap scan for the "user" field of a request line, without a full JSON
+// parse — the event loop's shard-routing hint. Returns -1 when the line has
+// no parsable non-negative user. Only a placement hint: correctness of the
+// user->shard mapping lives in ShardRouter, which re-derives the shard from
+// the parsed request.
+std::int64_t peek_user(const std::string& line);
+
 // Response formatters; each returns a single line without the trailing
 // newline. `ctx` non-null appends the "debug" stage-attribution object
 // (the driver passes it only when the request asked for it).

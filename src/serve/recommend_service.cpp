@@ -52,18 +52,32 @@ ServeConfig ServeConfig::from_env() {
 RecommendService::RecommendService(const data::ImplicitDataset& dataset,
                                    ModelRegistry& registry, Tensor raw_features,
                                    ServeConfig config)
+    : RecommendService(dataset, registry,
+                       std::make_shared<FeatureStore>(
+                           std::move(raw_features),
+                           static_cast<std::size_t>(config.update_log_window)),
+                       std::make_shared<std::mutex>(), config) {}
+
+RecommendService::RecommendService(const data::ImplicitDataset& dataset,
+                                   ModelRegistry& registry,
+                                   std::shared_ptr<FeatureStore> store,
+                                   std::shared_ptr<std::mutex> update_mutex,
+                                   ServeConfig config)
     : dataset_(dataset),
       registry_(registry),
-      store_(std::move(raw_features),
-             static_cast<std::size_t>(config.update_log_window)),
+      store_(std::move(store)),
       config_(config),
       cache_(config.cache_capacity, config.cache_shards),
+      update_mutex_(std::move(update_mutex)),
       // One-second slots, same bucket layout as serve_request_seconds so
       // rolling and lifetime quantiles interpolate over identical edges.
       latency_window_(static_cast<std::uint64_t>(config.window_s) * 1000000ull,
                       static_cast<std::size_t>(config.window_s),
                       obs::exponential_bounds(1e-6, 2.0, 30)) {
-  if (store_.num_items() != dataset_.num_items) {
+  if (store_ == nullptr || update_mutex_ == nullptr) {
+    throw std::invalid_argument("RecommendService: null store or update mutex");
+  }
+  if (store_->num_items() != dataset_.num_items) {
     throw std::invalid_argument(
         "RecommendService: feature rows must match dataset items");
   }
@@ -91,7 +105,7 @@ std::optional<CacheEntry> RecommendService::lookup(const CacheKey& key,
   // checking against its current epoch only over-approximates the changed
   // set, which is safe.
   const std::optional<std::vector<std::int32_t>> changed =
-      store_.changed_since(entry->feature_epoch);
+      store_->changed_since(entry->feature_epoch);
   if (!changed.has_value()) {
     // Changelog window exceeded; cannot prove validity.
     if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
@@ -397,12 +411,12 @@ std::uint64_t RecommendService::update_item_features(std::int64_t item,
                                                      std::span<const float> features,
                                                      const UpdateOrigin& origin) {
   TAAMR_TRACE_SPAN("serve/feature_swap");
-  std::lock_guard<std::mutex> lock(update_mutex_);
+  std::lock_guard<std::mutex> lock(*update_mutex_);
   // Previous row read before the write: the delta norms below are the
   // forensic core of the audit record.
-  const std::vector<float> prev = store_.item_features(item);
-  const std::uint64_t epoch = store_.update(item, features);
-  const Tensor snapshot = store_.snapshot();
+  const std::vector<float> prev = store_->item_features(item);
+  const std::uint64_t epoch = store_->update(item, features);
+  const Tensor snapshot = store_->snapshot();
 
   const bool auditing = obs::AuditLog::global().enabled();
   obs::AuditRecord record;
@@ -483,6 +497,7 @@ RecommendService::Stats RecommendService::stats() const {
   st.rolling_p50_s = win.quantile(0.50);
   st.rolling_p90_s = win.quantile(0.90);
   st.rolling_p99_s = win.quantile(0.99);
+  st.rolling_window_requests = win.count;
   st.cache = cache_.stats();
   return st;
 }

@@ -83,6 +83,17 @@ class RecommendService {
   RecommendService(const data::ImplicitDataset& dataset, ModelRegistry& registry,
                    Tensor raw_features, ServeConfig config = ServeConfig::from_env());
 
+  // Shard constructor: several services (one per shard) share one
+  // FeatureStore and one update mutex over a common registry, so a feature
+  // swap advances a single epoch axis that every shard's changelog walk
+  // agrees on. Writers must serialize on the shared mutex across ALL
+  // sharing services — ShardRouter additionally funnels every update
+  // through one designated service so the anomaly scorer sees the full
+  // update stream. store and update_mutex must be non-null.
+  RecommendService(const data::ImplicitDataset& dataset, ModelRegistry& registry,
+                   std::shared_ptr<FeatureStore> store,
+                   std::shared_ptr<std::mutex> update_mutex, ServeConfig config);
+
   // Top-n for one user; blocks briefly while coalescing with concurrent
   // callers. Throws std::runtime_error for unknown models,
   // std::invalid_argument for bad user/n. When `ctx` is non-null the
@@ -135,6 +146,7 @@ class RecommendService {
     double rolling_p50_s = 0.0;  // over the last window_s seconds
     double rolling_p90_s = 0.0;
     double rolling_p99_s = 0.0;
+    std::uint64_t rolling_window_requests = 0;  // observations in the window
     TopNCache::Stats cache;
     double hit_rate() const {
       const double total = static_cast<double>(cache_hits + cache_misses);
@@ -149,7 +161,7 @@ class RecommendService {
   std::string metrics_text() const;
 
   const ServeConfig& config() const { return config_; }
-  const FeatureStore& feature_store() const { return store_; }
+  const FeatureStore& feature_store() const { return *store_; }
   const data::ImplicitDataset& dataset() const { return dataset_; }
   ModelRegistry& registry() { return registry_; }
 
@@ -196,11 +208,13 @@ class RecommendService {
 
   const data::ImplicitDataset& dataset_;
   ModelRegistry& registry_;
-  FeatureStore store_;
+  std::shared_ptr<FeatureStore> store_;  // shared across shards (ShardRouter)
   ServeConfig config_;
   TopNCache cache_;
 
-  std::mutex update_mutex_;  // serializes feature swaps
+  // Serializes feature swaps; shared across every service over the same
+  // store so rebuild+swap sequences from different shards cannot interleave.
+  std::shared_ptr<std::mutex> update_mutex_;
 
   std::mutex batch_mutex_;
   std::shared_ptr<PendingBatch> pending_;

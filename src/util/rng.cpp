@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -75,6 +76,35 @@ void AliasTable::build(std::span<const double> weights) {
   }
   for (std::size_t i : large) prob_[i] = 1.0;
   for (std::size_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::vector<double> zipf_weights(std::size_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument("zipf_weights: empty support");
+  if (alpha < 0.0) throw std::invalid_argument("zipf_weights: negative alpha");
+  std::vector<double> w(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    w[r] = std::pow(static_cast<double>(r + 1), -alpha);
+  }
+  return w;
+}
+
+void ZipfSampler::build(std::size_t n, double alpha) {
+  const std::vector<double> w = zipf_weights(n, alpha);
+  alpha_ = alpha;
+  prefix_.assign(n, 0.0);
+  double run = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    run += w[r];
+    prefix_[r] = run;
+  }
+  total_ = run;
+  table_.build(w);
+}
+
+double ZipfSampler::top_share(std::size_t count) const {
+  if (prefix_.empty() || count == 0) return 0.0;
+  const std::size_t idx = std::min(count, prefix_.size()) - 1;
+  return prefix_[idx] / total_;
 }
 
 }  // namespace taamr

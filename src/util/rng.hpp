@@ -152,4 +152,34 @@ class AliasTable {
   std::vector<std::size_t> alias_;
 };
 
+// Unnormalized Zipf weights over n ranks: rank r (0-based) gets 1/(r+1)^alpha.
+std::vector<double> zipf_weights(std::size_t n, double alpha);
+
+// O(1) draws from a Zipf(alpha) rank distribution over [0, n), rank 0
+// hottest. Shared by the synthetic dataset generator (within-category item
+// popularity) and bench/serve_load (user traffic skew) so both ends of a
+// load test agree on what "skewed" means.
+class ZipfSampler {
+ public:
+  ZipfSampler() = default;
+  ZipfSampler(std::size_t n, double alpha) { build(n, alpha); }
+
+  void build(std::size_t n, double alpha);
+
+  std::size_t sample(Rng& rng) const { return table_.sample(rng); }
+  std::size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  double alpha() const { return alpha_; }
+
+  // Probability mass of the hottest `count` ranks — the achieved skew a
+  // bench reports next to the alpha it asked for.
+  double top_share(std::size_t count) const;
+
+ private:
+  double alpha_ = 0.0;
+  double total_ = 0.0;
+  std::vector<double> prefix_;  // cumulative weight by rank
+  AliasTable table_;
+};
+
 }  // namespace taamr

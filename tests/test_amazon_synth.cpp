@@ -150,6 +150,42 @@ TEST(AmazonSynth, GroupAffinityCorrelatesPreferences) {
   EXPECT_GT(co_rate(0.9), co_rate(0.0) + 0.05);
 }
 
+TEST(AmazonSynth, ServeSpecPreset) {
+  const auto spec = data::amazon_serve_spec(0.001);
+  EXPECT_EQ(spec.name, "Amazon Serve");
+  EXPECT_GT(spec.item_pop_zipf_alpha, 0.0);
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(data::spec_by_name("amazon_serve", 0.001).name, "Amazon Serve");
+  EXPECT_EQ(data::spec_by_name("Amazon Serve", 0.001).name, "Amazon Serve");
+  // Full scale targets the million-user serving tier.
+  EXPECT_EQ(data::amazon_serve_spec(1.0).num_users, 1000000);
+
+  const auto ds = data::generate_synthetic_dataset(spec);
+  EXPECT_EQ(ds.num_users, spec.num_users);
+  EXPECT_EQ(ds.num_items, spec.num_items);
+  for (const auto& items : ds.train) {
+    EXPECT_GE(items.size(), static_cast<std::size_t>(spec.min_interactions));
+    for (std::int32_t i : items) {
+      EXPECT_GE(i, 0);
+      EXPECT_LT(i, ds.num_items);
+    }
+  }
+}
+
+TEST(AmazonSynth, ZipfItemPopularityShapesTheDataset) {
+  // Same seed, alpha on vs off: the popularity law must actually change
+  // which items are drawn, and the men preset must stay on the legacy
+  // (alpha = 0) path so its paper-calibrated stats are untouched.
+  data::SynthSpec flat = data::amazon_serve_spec(0.01);
+  flat.item_pop_zipf_alpha = 0.0;
+  data::SynthSpec skewed = data::amazon_serve_spec(0.01);
+  ASSERT_GT(skewed.item_pop_zipf_alpha, 0.0);
+  const auto ds_flat = data::generate_synthetic_dataset(flat);
+  const auto ds_skew = data::generate_synthetic_dataset(skewed);
+  EXPECT_NE(ds_flat.train, ds_skew.train);
+  EXPECT_EQ(data::amazon_men_spec(0.01).item_pop_zipf_alpha, 0.0);
+}
+
 TEST(AmazonSynth, WomenPrioritizesBrassiere) {
   const auto ds = data::generate_synthetic_dataset(data::amazon_women_spec(0.02));
   const auto stats = data::compute_stats(ds);

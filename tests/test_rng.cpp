@@ -231,5 +231,58 @@ TEST_P(AliasTableProfile, EmpiricalMatchesExpected) {
 
 INSTANTIATE_TEST_SUITE_P(Profiles, AliasTableProfile, ::testing::Range(0, 8));
 
+TEST(Zipf, WeightsFollowTheRankLaw) {
+  const auto w = zipf_weights(6, 1.0);
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  for (std::size_t r = 1; r < w.size(); ++r) {
+    EXPECT_LT(w[r], w[r - 1]) << "rank " << r;
+    EXPECT_NEAR(w[r], 1.0 / static_cast<double>(r + 1), 1e-12);
+  }
+  // alpha = 0 degenerates to uniform.
+  for (const double x : zipf_weights(4, 0.0)) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Zipf, RejectsBadInput) {
+  EXPECT_THROW(zipf_weights(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(zipf_weights(8, -0.5), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, SamplerIsDeterministicPerSeed) {
+  ZipfSampler zipf(1000, 1.1);
+  Rng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t sa = zipf.sample(a);
+    EXPECT_EQ(sa, zipf.sample(b));
+    diverged = diverged || sa != zipf.sample(c);
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced identical streams";
+}
+
+TEST(Zipf, EmpiricalTopShareMatchesAnalytic) {
+  const std::size_t n = 500;
+  ZipfSampler zipf(n, 1.0);
+  const std::size_t hot = n / 100 + 1;  // hottest 1%
+  const double expected = zipf.top_share(hot);
+  EXPECT_GT(expected, 0.05);  // skew is real at alpha=1
+  Rng rng(7);
+  const int draws = 60000;
+  int in_hot = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.sample(rng) < hot) ++in_hot;
+  }
+  EXPECT_NEAR(in_hot / static_cast<double>(draws), expected, 0.02);
+}
+
+TEST(Zipf, TopShareSaturatesAtOne) {
+  ZipfSampler zipf(64, 0.8);
+  EXPECT_DOUBLE_EQ(zipf.top_share(64), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.top_share(1000), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.top_share(0), 0.0);
+  EXPECT_LT(zipf.top_share(1), zipf.top_share(2));
+}
+
 }  // namespace
 }  // namespace taamr

@@ -6,25 +6,26 @@
 //   taamr_serve --scale 0.004 --vbpr-epochs 20            # stdin/stdout
 //   taamr_serve --port 7787 &                             # 127.0.0.1:7787
 //
+// TCP serving runs through the sharded engine: a ShardRouter partitions
+// users over TAAMR_SERVE_SHARDS per-shard RecommendServices, and an epoll
+// EventLoop (serve/event_loop.hpp) multiplexes connections onto a fixed
+// worker set with bounded per-shard queues — overload sheds
+// {"error":"overloaded"} instead of queueing unboundedly, and shutdown
+// drains in-flight requests before closing. stdin mode keeps the simple
+// synchronous loop (one request, one response) for scripting and smoke
+// tests.
+//
 // The update_image op closes the paper's loop online: re-render the item's
 // product photo from a new seed (a stand-in for an adversarially replaced
 // image), re-extract its CNN features, and hot-swap them into the serving
 // models — subsequent recommend responses reflect the new features.
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <atomic>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <mutex>
-#include <sstream>
 #include <string>
-#include <thread>
 #include <unordered_map>
-#include <vector>
 
 #include "core/pipeline.hpp"
 #include "data/image_gen.hpp"
@@ -32,8 +33,9 @@
 #include "obs/profiler.hpp"
 #include "obs/request_context.hpp"
 #include "recsys/bpr_mf.hpp"
+#include "serve/event_loop.hpp"
 #include "serve/protocol.hpp"
-#include "serve/recommend_service.hpp"
+#include "serve/shard_router.hpp"
 #include "util/args.hpp"
 #include "util/logging.hpp"
 #include "util/thread_name.hpp"
@@ -45,7 +47,10 @@ using namespace taamr;
 struct Server {
   core::Pipeline* pipeline = nullptr;
   serve::ModelRegistry* registry = nullptr;
-  serve::RecommendService* service = nullptr;
+  serve::ShardRouter* router = nullptr;
+  // Set while TCP serving so a shutdown op (handled on a shard worker) can
+  // begin the event loop's drain-then-close sequence.
+  std::atomic<serve::EventLoop*> loop{nullptr};
   std::mutex classifier_mutex;  // feature extraction mutates layer scratch
   // Last rendered image per item, so an update_image push can be scored
   // with SSIM against what it replaces — the perceptual fingerprint of an
@@ -65,7 +70,7 @@ std::string Server::handle_line(const std::string& line) {
     switch (req.op) {
       case serve::Op::kRecommend: {
         const serve::Recommendation rec =
-            service->recommend(req.model, req.user, req.n, &ctx);
+            router->recommend(req.model, req.user, req.n, &ctx);
         std::string out = serve::format_recommendation(rec);
         ctx.mark("serialize");
         // The debug echo re-renders with the full stage attribution,
@@ -76,11 +81,11 @@ std::string Server::handle_line(const std::string& line) {
       }
       case serve::Op::kUpdateFeatures: {
         const std::uint64_t epoch =
-            service->update_item_features(req.item, req.features);
+            router->update_item_features(req.item, req.features);
         return serve::format_ok("\"epoch\":" + std::to_string(epoch));
       }
       case serve::Op::kUpdateImage: {
-        const auto& dataset = service->dataset();
+        const auto& dataset = router->dataset();
         if (req.item < 0 || req.item >= dataset.num_items) {
           return serve::format_error("update_image: item out of range");
         }
@@ -107,7 +112,7 @@ std::string Server::handle_line(const std::string& line) {
           }
           last_images.insert_or_assign(req.item, std::move(img));
         }
-        const std::uint64_t epoch = service->update_item_features(
+        const std::uint64_t epoch = router->update_item_features(
             req.item, {feats.data(), static_cast<std::size_t>(feats.dim(1))},
             origin);
         return serve::format_ok("\"epoch\":" + std::to_string(epoch));
@@ -123,28 +128,32 @@ std::string Server::handle_line(const std::string& line) {
       case serve::Op::kModels:
         return serve::format_models(registry->names());
       case serve::Op::kStats:
-        return serve::format_stats(service->stats());
+        return serve::format_stats(router->stats());
       case serve::Op::kMetrics: {
         // Multi-line Prometheus exposition; ends with "# EOF" so clients
         // know where the response stops. Drop the final newline — the
         // writers below append one per response.
-        std::string text = service->metrics_text();
+        std::string text = router->metrics_text();
         if (!text.empty() && text.back() == '\n') text.pop_back();
         return text;
       }
       case serve::Op::kProfile: {
         // On-demand CPU window from the live process: collapsed stacks,
-        // "# EOF"-framed like metrics. The handling connection thread
-        // sleeps for the window; other connections keep serving (and are
-        // what the samples catch).
+        // "# EOF"-framed like metrics. The handling shard worker sleeps for
+        // the window; the other workers keep serving (and are what the
+        // samples catch).
         std::string text =
             obs::Profiler::global().profile_window_folded(req.seconds);
         text += "# EOF";
         return text;
       }
-      case serve::Op::kShutdown:
+      case serve::Op::kShutdown: {
         shutting_down.store(true);
+        // TCP mode: drain-then-close — this response is already admitted,
+        // so it is flushed before the connection closes.
+        if (serve::EventLoop* l = loop.load()) l->request_shutdown();
         return serve::format_ok();
+      }
     }
     return serve::format_error("unhandled op");
   } catch (const std::exception& e) {
@@ -160,75 +169,35 @@ void serve_stdin(Server& server) {
   }
 }
 
-void serve_connection(Server& server, int fd) {
-  std::string buffer;
-  char chunk[4096];
-  while (!server.shutting_down.load()) {
-    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
-    if (got <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(got));
-    std::size_t pos;
-    while ((pos = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, pos);
-      buffer.erase(0, pos + 1);
-      if (line.empty()) continue;
-      const std::string response = server.handle_line(line) + "\n";
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t w = ::write(fd, response.data() + sent, response.size() - sent);
-        if (w <= 0) { ::close(fd); return; }
-        sent += static_cast<std::size_t>(w);
-      }
-      if (server.shutting_down.load()) { ::close(fd); return; }
-    }
-  }
-  ::close(fd);
-}
-
 int serve_tcp(Server& server, int port) {
-  // The main thread becomes the acceptor for the rest of the process.
-  set_current_thread_name("serve-accept");
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::cerr << "taamr_serve: socket() failed: " << std::strerror(errno) << "\n";
+  serve::EventLoopConfig cfg = serve::EventLoopConfig::from_env();
+  cfg.port = port;
+  serve::EventLoop loop(
+      cfg, server.router->num_shards(),
+      // Routing hint only: park the request on the queue of the shard its
+      // user hashes to, so a shard's coalescer sees its own users. The
+      // router re-derives the shard from the parsed request either way.
+      [&server](const std::string& line) {
+        const std::int64_t user = serve::peek_user(line);
+        return user >= 0 ? server.router->shard_of(user) : std::size_t{0};
+      },
+      [&server](std::size_t, const std::string& line) {
+        return server.handle_line(line);
+      });
+  server.loop.store(&loop);
+  try {
+    loop.start();
+  } catch (const std::exception& e) {
+    std::cerr << "taamr_serve: " << e.what() << "\n";
+    server.loop.store(nullptr);
     return 1;
   }
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listen_fd, 16) < 0) {
-    std::cerr << "taamr_serve: bind/listen on 127.0.0.1:" << port
-              << " failed: " << std::strerror(errno) << "\n";
-    ::close(listen_fd);
-    return 1;
-  }
-  std::cout << "taamr_serve: listening on 127.0.0.1:" << port << "\n" << std::flush;
-
-  // Poll-then-accept so a shutdown op (handled on a connection thread) is
-  // noticed within one poll interval — a blocking accept() would keep the
-  // process alive until the next client connected.
-  std::vector<std::thread> workers;
-  while (!server.shutting_down.load()) {
-    pollfd pfd{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;
-    if (server.shutting_down.load()) { ::close(fd); break; }
-    const std::size_t conn_id = workers.size();
-    workers.emplace_back([&server, fd, conn_id] {
-      set_current_thread_name("serve-conn" + std::to_string(conn_id));
-      serve_connection(server, fd);
-    });
-  }
-  ::close(listen_fd);
-  for (std::thread& t : workers) t.join();
-  return 0;
+  std::cout << "taamr_serve: listening on 127.0.0.1:" << loop.port() << " ("
+            << server.router->num_shards() << " shards)\n"
+            << std::flush;
+  const int rc = loop.join();
+  server.loop.store(nullptr);
+  return rc;
 }
 
 }  // namespace
@@ -275,12 +244,12 @@ int main(int argc, char** argv) {
     registry.register_model("bpr_mf", std::move(bpr), /*visual=*/false);
   }
 
-  serve::RecommendService service(dataset, registry, pipeline.clean_features());
+  serve::ShardRouter router(dataset, registry, pipeline.clean_features());
 
   Server server;
   server.pipeline = &pipeline;
   server.registry = &registry;
-  server.service = &service;
+  server.router = &router;
 
   std::cout << "taamr_serve: ready (" << dataset.name << ", " << dataset.num_users
             << " users, " << dataset.num_items << " items, models: vbpr bpr_mf)\n"
